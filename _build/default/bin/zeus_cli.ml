@@ -1,0 +1,116 @@
+(* Command-line front end.
+
+     zeus_cli list                 # show reproducible experiments
+     zeus_cli run fig8 [--quick]   # regenerate one table/figure
+     zeus_cli run all [--quick]    # the whole evaluation
+     zeus_cli bench smallbank --nodes 3 --remote 0.02
+                                   # one-off Zeus throughput measurement *)
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Small populations and short runs.")
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-10s %s\n" "id" "description";
+    List.iter
+      (fun (id, descr, _) -> Printf.printf "%-10s %s\n" id descr)
+      Zeus_experiments.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the reproducible tables and figures.")
+    Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see $(b,list)) or $(b,all).")
+  in
+  let run quick id =
+    if id = "all" then begin
+      Zeus_experiments.Experiments.run_all ~quick;
+      `Ok ()
+    end
+    else if Zeus_experiments.Experiments.run_one ~quick id then `Ok ()
+    else
+      `Error
+        ( false,
+          Printf.sprintf "unknown experiment %S; known: all, %s" id
+            (String.concat ", " (Zeus_experiments.Experiments.names ())) )
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Regenerate one of the paper's tables/figures (or $(b,all)).")
+    Term.(ret (const run $ quick $ id))
+
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("smallbank", `Smallbank); ("tatp", `Tatp) ])) None
+      & info [] ~docv:"WORKLOAD" ~doc:"smallbank or tatp.")
+  in
+  let nodes = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Cluster size.") in
+  let remote =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "remote" ] ~doc:"Fraction of write transactions with drifted accesses.")
+  in
+  let duration =
+    Arg.(value & opt float 15_000.0 & info [ "duration-us" ] ~doc:"Measured window.")
+  in
+  let run workload nodes remote duration =
+    let config = { Zeus_core.Config.default with Zeus_core.Config.nodes } in
+    let cluster = Zeus_core.Cluster.create ~config () in
+    let rng = Zeus_sim.Engine.fork_rng (Zeus_core.Cluster.engine cluster) in
+    let issue, name =
+      match workload with
+      | `Smallbank ->
+        let w =
+          Zeus_workload.Smallbank.create ~accounts_per_node:10_000 ~nodes
+            ~remote_frac:remote rng
+        in
+        Zeus_core.Cluster.populate_n cluster ~n:(Zeus_workload.Smallbank.total_keys w)
+          ~owner_of:(fun k -> Zeus_workload.Smallbank.home_of_key w k)
+          (fun _ -> Bytes.copy Zeus_workload.Smallbank.initial_value);
+        ( (fun node ~thread -> Zeus_workload.Smallbank.gen w ~home:(Zeus_core.Node.id node) |> fun s -> (s, thread)),
+          "smallbank" )
+      | `Tatp ->
+        let w =
+          Zeus_workload.Tatp.create ~subscribers_per_node:10_000 ~nodes
+            ~remote_frac:remote rng
+        in
+        Zeus_core.Cluster.populate_n cluster ~n:(Zeus_workload.Tatp.total_keys w)
+          ~owner_of:(fun k -> Zeus_workload.Tatp.home_of_key w k)
+          (fun _ -> Bytes.copy Zeus_workload.Tatp.initial_value);
+        ( (fun node ~thread -> Zeus_workload.Tatp.gen w ~home:(Zeus_core.Node.id node) |> fun s -> (s, thread)),
+          "tatp" )
+    in
+    let r =
+      Zeus_workload.Driver.run cluster ~warmup_us:2_000.0 ~duration_us:duration
+        ~issue:(fun node ~thread ~seq:_ done_ ->
+          let spec, thread = issue node ~thread in
+          Zeus_workload.Spec.run_on_zeus node ~thread spec (fun o ->
+              done_ (o = Zeus_store.Txn.Committed)))
+        ()
+    in
+    Format.printf "%s on %d nodes (remote %.1f%%): %a@." name nodes (100.0 *. remote)
+      Zeus_workload.Driver.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"One-off Zeus throughput measurement.")
+    Term.(const run $ workload $ nodes $ remote $ duration)
+
+let () =
+  let doc = "Zeus: locality-aware distributed transactions (EuroSys '21 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "zeus_cli" ~doc) [ list_cmd; run_cmd; bench_cmd ]))

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Format List Option Printf Zeus_core Zeus_sim Zeus_store

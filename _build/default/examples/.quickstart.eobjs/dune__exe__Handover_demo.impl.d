@@ -1,0 +1,1 @@
+examples/handover_demo.ml: List Printf Zeus_core Zeus_ownership Zeus_store

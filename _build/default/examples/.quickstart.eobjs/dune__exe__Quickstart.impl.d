@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Zeus_core Zeus_ownership Zeus_store

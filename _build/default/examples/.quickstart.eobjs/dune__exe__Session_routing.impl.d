@@ -1,0 +1,1 @@
+examples/session_routing.ml: List Printf Zeus_lb Zeus_net Zeus_sim

@@ -1,0 +1,1 @@
+examples/voter_migration.ml: Printf Zeus_core Zeus_ownership Zeus_sim Zeus_store

@@ -1,0 +1,1 @@
+examples/voter_migration.mli:

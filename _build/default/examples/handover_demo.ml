@@ -1,0 +1,98 @@
+(* Cellular handover demo (§2.2, §8.1).
+
+   A mobile user commutes across three base stations hosted on different
+   Zeus nodes.  Each control-plane operation is a write transaction on the
+   user context and the involved station contexts:
+
+   - service requests / releases touch (user, current station) — local;
+   - a handover is two transactions: start on the old node, end on the new
+     node; the end transaction drags the user's context over with a single
+     ownership request (1.5 RTT), after which everything is local again.
+
+   The demo prints where the user's context lives and how many ownership
+   requests the commute needed. *)
+
+module Cluster = Zeus_core.Cluster
+module Config = Zeus_core.Config
+module Node = Zeus_core.Node
+module Own = Zeus_ownership
+module Value = Zeus_store.Value
+
+let user = 0
+let station n = 100 + n (* station of node n *)
+
+let bump size v =
+  let c = try Value.to_int v with Invalid_argument _ -> 0 in
+  Value.padded [ c + 1 ] ~size
+
+let write_pair node ~k1 ~k2 label cluster =
+  Node.run_write node ~thread:0 ~exec_us:1.5
+    ~body:(fun ctx commit ->
+      Node.read_write ctx k1 (bump 400) (fun _ ->
+          Node.read_write ctx k2 (bump 256) (fun _ -> commit ())))
+    (fun outcome ->
+      Printf.printf "  %-28s %s\n" label
+        (match outcome with
+        | Zeus_store.Txn.Committed -> "committed"
+        | Zeus_store.Txn.Aborted _ -> "aborted"));
+  Cluster.run_quiesce cluster ~max_us:10_000.0 ()
+
+let where cluster =
+  let homes =
+    List.filter_map
+      (fun n ->
+        match Node.role (Cluster.node cluster n) user with
+        | Some Zeus_store.Types.Owner -> Some n
+        | _ -> None)
+      [ 0; 1; 2 ]
+  in
+  match homes with [ n ] -> Printf.sprintf "node %d" n | _ -> "???"
+
+let requests cluster =
+  List.fold_left
+    (fun acc n ->
+      acc + Own.Agent.requests_started (Node.ownership_agent (Cluster.node cluster n)))
+    0 [ 0; 1; 2 ]
+
+let () =
+  let cluster = Cluster.create ~config:{ Config.default with Config.nodes = 3 } () in
+  (* user context on node 0; one station context per node *)
+  Cluster.populate cluster ~key:user ~owner:0 (Value.padded [ 0 ] ~size:400);
+  List.iter
+    (fun n ->
+      Cluster.populate cluster ~key:(station n) ~owner:n (Value.padded [ 0 ] ~size:256))
+    [ 0; 1; 2 ];
+
+  Printf.printf "user context starts on %s\n" (where cluster);
+  Printf.printf "== stationary: service requests and releases at node 0 ==\n";
+  for _ = 1 to 3 do
+    write_pair (Cluster.node cluster 0) ~k1:user ~k2:(station 0) "service request" cluster;
+    write_pair (Cluster.node cluster 0) ~k1:user ~k2:(station 0) "release" cluster
+  done;
+  Printf.printf "  ownership requests so far: %d (all traffic local)\n" (requests cluster);
+
+  Printf.printf "== commute: handover node 0 -> node 1 ==\n";
+  write_pair (Cluster.node cluster 0) ~k1:user ~k2:(station 0) "handover start (old node)"
+    cluster;
+  write_pair (Cluster.node cluster 1) ~k1:user ~k2:(station 1) "handover end (new node)"
+    cluster;
+  Printf.printf "  user context now on %s; ownership requests: %d\n" (where cluster)
+    (requests cluster);
+
+  Printf.printf "== attached to node 1: traffic local again ==\n";
+  let before = requests cluster in
+  for _ = 1 to 3 do
+    write_pair (Cluster.node cluster 1) ~k1:user ~k2:(station 1) "service request" cluster
+  done;
+  Printf.printf "  new ownership requests: %d\n" (requests cluster - before);
+
+  Printf.printf "== second handover: node 1 -> node 2 ==\n";
+  write_pair (Cluster.node cluster 1) ~k1:user ~k2:(station 1) "handover start (old node)"
+    cluster;
+  write_pair (Cluster.node cluster 2) ~k1:user ~k2:(station 2) "handover end (new node)"
+    cluster;
+  Printf.printf "  user context now on %s\n" (where cluster);
+
+  match Cluster.check_invariants cluster with
+  | Ok () -> Printf.printf "== invariants hold ==\n"
+  | Error m -> Printf.printf "== INVARIANT VIOLATION: %s ==\n" m

@@ -1,0 +1,1 @@
+lib/apps/gateway.ml: Array Harness Zeus_core Zeus_sim Zeus_store

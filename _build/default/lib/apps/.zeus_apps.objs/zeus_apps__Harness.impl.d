@@ -1,0 +1,1 @@
+lib/apps/harness.ml: Queue Zeus_sim

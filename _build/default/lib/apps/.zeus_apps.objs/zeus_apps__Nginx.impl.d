@@ -1,0 +1,1 @@
+lib/apps/nginx.ml: Array Harness Hashtbl List Zeus_core Zeus_sim Zeus_store

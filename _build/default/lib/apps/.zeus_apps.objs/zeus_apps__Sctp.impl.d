@@ -1,0 +1,1 @@
+lib/apps/sctp.ml: Zeus_core Zeus_sim Zeus_store

@@ -1,0 +1,71 @@
+module Engine = Zeus_sim.Engine
+module Rng = Zeus_sim.Rng
+module Cluster = Zeus_core.Cluster
+module Config = Zeus_core.Config
+module Node = Zeus_core.Node
+module Value = Zeus_store.Value
+
+type config = {
+  parse_us : float;
+  generator_ktps : float;
+  users : int;
+  duration_us : float;
+}
+
+let default_config =
+  { parse_us = 60.0; generator_ktps = 27.5; users = 2_000; duration_us = 200_000.0 }
+
+type mode = [ `No_store | `Remote_store of float | `Zeus of int ]
+type result = { ktps : float; offered_ktps : float }
+
+let run ?(config = default_config) mode =
+  let zconfig =
+    { Config.default with Config.nodes = 2; replication_degree = 2; dir_replicas = 2 }
+  in
+  let cluster = Cluster.create ~config:zconfig () in
+  let engine = Cluster.engine cluster in
+  let rng = Engine.fork_rng engine in
+  (* User contexts: ~400 B, initially owned by node 0. *)
+  Cluster.populate_n cluster ~n:config.users
+    ~owner_of:(fun u -> if mode = `Zeus 2 then u mod 2 else 0)
+    (fun _ -> Value.padded [ 0 ] ~size:400);
+  let active = match mode with `Zeus n -> n | `No_store | `Remote_store _ -> 1 in
+  let serve node_id req k =
+    let user = req in
+    match mode with
+    | `No_store -> ignore (Engine.schedule engine ~after:config.parse_us k)
+    | `Remote_store rtt ->
+      (* Legacy blocking access: parse, then stall the thread for a full
+         kernel-stack round trip to the remote store. *)
+      ignore (Engine.schedule engine ~after:(config.parse_us +. rtt) k)
+    | `Zeus _ ->
+      Node.run_write (Cluster.node cluster node_id) ~thread:0 ~exec_us:config.parse_us
+        ~body:(fun ctx commit ->
+          Node.read_write ctx user
+            (fun v ->
+              let c = try Value.to_int v with Invalid_argument _ -> 0 in
+              Value.padded [ c + 1 ] ~size:400)
+            (fun _ -> commit ()))
+        (fun _ -> k ())
+  in
+  let workers =
+    Array.init active (fun node_id ->
+        Harness.Worker.create engine ~serve:(fun req k -> serve node_id req k))
+  in
+  let rate = config.generator_ktps /. 1_000.0 in
+  let gen =
+    Harness.Generator.create engine ~rate_per_us:rate ~sink:(fun ~seq:_ ->
+        (* The generator routes each user's requests to the gateway that
+           owns its context (the application-level load balancer, §3.1). *)
+        let user = Rng.int rng config.users in
+        let target = if active = 1 then 0 else user mod 2 in
+        Harness.Worker.push workers.(target) user)
+  in
+  Harness.Generator.start gen;
+  Cluster.run cluster ~until_us:config.duration_us;
+  Harness.Generator.stop gen;
+  let completed = Array.fold_left (fun a w -> a + Harness.Worker.completed w) 0 workers in
+  {
+    ktps = float_of_int completed /. config.duration_us *. 1_000.0;
+    offered_ktps = config.generator_ktps;
+  }

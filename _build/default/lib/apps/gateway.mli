@@ -1,0 +1,34 @@
+(** Cellular packet-gateway control plane ported to Zeus (§8.5, Figure 13).
+
+    Models the OpenEPC-based gateway: an external signal generator issues
+    service-request / release operations; each gateway node parses the
+    3GPP signalling (the dominant cost) and then touches the user context
+    in a datastore.  The legacy code {e blocks} on every datastore access —
+    which is why a remote store (Redis) collapses throughput, while Zeus
+    keeps the access local and pipelines replication.
+
+    Configurations (as in Figure 13):
+    - [`No_store]: all state in local memory, no replication (upper bound);
+    - [`Remote_store rtt]: off-the-shelf remote KV, blocking round trip per
+      request, no replication;
+    - [`Zeus active]: a two-node Zeus deployment with [active] ∈ {1, 2}
+      gateway nodes taking traffic (the other is a passive replica when
+      [active = 1]).
+
+    The signal generator saturates at [generator_ktps]; the paper could not
+    saturate more than two active nodes for the same reason. *)
+
+type config = {
+  parse_us : float;          (** 3GPP message parsing + handling *)
+  generator_ktps : float;    (** external load-generator capacity *)
+  users : int;
+  duration_us : float;
+}
+
+val default_config : config
+
+type mode = [ `No_store | `Remote_store of float | `Zeus of int ]
+
+type result = { ktps : float; offered_ktps : float }
+
+val run : ?config:config -> mode -> result

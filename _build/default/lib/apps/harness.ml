@@ -1,0 +1,76 @@
+module Engine = Zeus_sim.Engine
+module Rng = Zeus_sim.Rng
+
+module Generator = struct
+  type t = {
+    engine : Engine.t;
+    rate : float;
+    sink : seq:int -> unit;
+    rng : Rng.t;
+    mutable running : bool;
+    mutable arrivals : int;
+  }
+
+  let create engine ~rate_per_us ~sink =
+    {
+      engine;
+      rate = rate_per_us;
+      sink;
+      rng = Engine.fork_rng engine;
+      running = false;
+      arrivals = 0;
+    }
+
+  let rec arrive t =
+    if t.running then begin
+      let gap = Rng.exponential t.rng ~mean:(1.0 /. t.rate) in
+      ignore
+        (Engine.schedule t.engine ~after:gap (fun () ->
+             if t.running then begin
+               t.arrivals <- t.arrivals + 1;
+               t.sink ~seq:t.arrivals;
+               arrive t
+             end))
+    end
+
+  let start t =
+    if not t.running then begin
+      t.running <- true;
+      arrive t
+    end
+
+  let stop t = t.running <- false
+  let arrivals t = t.arrivals
+end
+
+module Worker = struct
+  type 'req t = {
+    engine : Engine.t;
+    serve : 'req -> (unit -> unit) -> unit;
+    queue : 'req Queue.t;
+    mutable busy : bool;
+    mutable completed : int;
+  }
+
+  let create engine ~serve =
+    { engine; serve; queue = Queue.create (); busy = false; completed = 0 }
+
+  let rec next t =
+    if Queue.is_empty t.queue then t.busy <- false
+    else begin
+      let req = Queue.pop t.queue in
+      t.serve req (fun () ->
+          t.completed <- t.completed + 1;
+          next t)
+    end
+
+  let push t req =
+    Queue.push req t.queue;
+    if not t.busy then begin
+      t.busy <- true;
+      next t
+    end
+
+  let completed t = t.completed
+  let queue_length t = Queue.length t.queue
+end

@@ -1,0 +1,29 @@
+(** Nginx session-persistence routing on Zeus (§8.5, Figure 15).
+
+    Nginx runs as an application-layer load balancer: it extracts a session
+    cookie from each HTTP request and routes to the backend recorded for
+    that cookie, assigning one on first sight.  The cookie→backend map
+    lives in Zeus (replicated over the two nginx nodes), so lookups are
+    local read-only transactions and inserts are local writes with
+    pipelined replication — which is why throughput matches the no-datastore
+    variant, and why a second nginx node can be added or removed seamlessly
+    (it already replicates the map). *)
+
+type config = {
+  proxy_us : float;          (** per-request nginx processing *)
+  sessions : int;
+  new_session_prob : float;
+  offered_krps : float;      (** client request rate *)
+  phase_us : float;          (** duration of each of the 3 phases: 1 node /
+                                 scale-out to 2 / scale-in back to 1 *)
+  bucket_us : float;         (** timeline resolution *)
+}
+
+val default_config : config
+
+type result = {
+  timeline : (float * float) list;  (** (ms, krps) *)
+  total_krps : float;
+}
+
+val run : ?config:config -> with_zeus:bool -> unit -> result

@@ -1,0 +1,24 @@
+(** usrsctp-style SCTP transport ported to Zeus (§8.5, Figure 14).
+
+    Every packet transmission is one Zeus transaction that updates the
+    connection state (~6.8 KB, which Zeus replicates so a node failure
+    looks to the peer like recoverable network loss).  The port keeps the
+    original single-flow processing thread: Zeus transactions pipeline, so
+    the thread never waits for replication — but it does pay the CPU cost
+    of snapshotting and serializing the large state on every packet, which
+    is the paper's reported ~40 % slowdown at large packet sizes (bigger
+    relative cost at small packets). *)
+
+type config = {
+  per_packet_us : float;      (** fixed SCTP processing per packet *)
+  per_byte_us : float;        (** payload handling per byte *)
+  state_bytes : int;          (** replicated connection state (paper: 6.8 KB) *)
+  duration_us : float;
+}
+
+val default_config : config
+
+type result = { pkts_per_s : float; mbps : float }
+
+val run : ?config:config -> mode:[ `Vanilla | `Zeus ] -> int -> result
+(** [run ~mode packet_size] *)

@@ -1,0 +1,1 @@
+lib/baseline/engine.ml: Array Float Hashtbl List Option Profile Zeus_core Zeus_net Zeus_sim Zeus_workload

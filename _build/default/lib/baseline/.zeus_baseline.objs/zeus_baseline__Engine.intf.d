@@ -1,0 +1,1 @@
+lib/baseline/engine.mli: Profile Zeus_core Zeus_sim Zeus_workload

@@ -1,0 +1,32 @@
+(** Cost/behaviour profiles for the baseline distributed-commit engine.
+
+    The paper compares against published numbers for FaRM, FaSST and DrTM
+    (§8: the authors could not run them on their testbed).  We go one step
+    further and execute a real OCC + two-phase-commit engine with
+    primary-backup replication over the same simulated fabric; these
+    profiles capture the structural differences between the three systems
+    that matter for throughput — message counts, which side pays CPU for a
+    remote read, and extra serial round trips in the commit. *)
+
+type t = {
+  name : string;
+  one_sided_reads : bool;
+      (** FaRM/DrTM: remote reads bypass the remote CPU (RDMA one-sided),
+          costing only initiator-side work; FaSST RPCs charge both sides *)
+  combined_lock_validate : bool;
+      (** FaSST merges lock and validate into one round *)
+  commit_extra_rtts : int;
+      (** additional serial rounds in commit (e.g. DrTM lease handling) *)
+  msg_scale : float;  (** per-message CPU scale vs. the Zeus cost model *)
+  exec_scale : float; (** transaction-logic execution-time scale *)
+  read_handler_us : float;
+      (** server-side work per remotely read key (lookup + marshal);
+          zero for one-sided reads *)
+  read_finish_us : float;
+      (** initiator-side work per remotely read key (unmarshal, version
+          checks; FaRM pays more: one-sided reads re-check consistency) *)
+}
+
+val fasst : t
+val farm : t
+val drtm : t

@@ -1,0 +1,1 @@
+lib/commit/agent.ml: Array Hashtbl List Messages Obj Replicas Table Txn Types Value Zeus_membership Zeus_net Zeus_sim Zeus_store

@@ -1,0 +1,1 @@
+lib/commit/agent.mli: Table Txn Types Zeus_membership Zeus_net Zeus_store

@@ -1,0 +1,1 @@
+lib/commit/messages.ml: Format Txn Types Zeus_net Zeus_store

@@ -1,0 +1,460 @@
+module Engine = Zeus_sim.Engine
+module Transport = Zeus_net.Transport
+module Service = Zeus_membership.Service
+module View = Zeus_membership.View
+open Zeus_store
+open Messages
+
+type callbacks = {
+  on_freed : Types.key -> unit;
+  recovery_drained : epoch:int -> unit;
+}
+
+(* Coordinator-side in-flight slot. *)
+type slot_state = {
+  s_tx : tx_id;
+  s_writes : Txn.update list;
+  s_followers : Types.node_id list;
+  mutable s_missing : Types.node_id list;
+  mutable s_extra_vals : Types.node_id list;
+      (* partial-stream followers of the next slot to include in this
+         slot's R-VAL broadcast (§5.2) *)
+  s_on_durable : (unit -> unit) option;
+}
+
+type pipeline = { mutable next_slot : int; slots : (int, slot_state) Hashtbl.t }
+
+(* Follower-side record of an applied R-INV, held for replay until R-VAL. *)
+type stored_inv = {
+  i_tx : tx_id;
+  i_followers : Types.node_id list;
+  i_writes : Txn.update list;
+}
+
+type buffered_inv = {
+  b_followers : Types.node_id list;
+  b_writes : Txn.update list;
+  b_src : Types.node_id;
+}
+
+type follower_pipe = {
+  mutable cleared_upto : int;
+      (* all slots <= this are applied here or validated by the coordinator *)
+  stored : (int, stored_inv) Hashtbl.t;
+  buffered : (int, buffered_inv) Hashtbl.t;
+}
+
+type t = {
+  node : Types.node_id;
+  table : Table.t;
+  membership : Service.t;
+  cb : callbacks;
+  transport : Transport.t;
+  engine : Engine.t;
+  pipelines : (int, pipeline) Hashtbl.t;  (* by thread *)
+  follower_pipes : (pipe_id, follower_pipe) Hashtbl.t;
+  replaying : (tx_id, slot_state) Hashtbl.t;
+  mutable prev_live : bool array;
+  mutable recovering_epoch : int option;
+  mutable n_started : int;
+  mutable n_durable : int;
+  mutable n_replays : int;
+}
+
+let node t = t.node
+let commits_started t = t.n_started
+let commits_durable t = t.n_durable
+let replays_started t = t.n_replays
+
+let epoch t = Service.epoch_at t.membership t.node
+let view t = Service.node_view t.membership t.node
+let live t n = View.is_live (view t) n
+let send t ~dst ?size payload = Transport.send t.transport ~src:t.node ~dst ?size payload
+
+let inflight t =
+  Hashtbl.fold (fun _ p acc -> acc + Hashtbl.length p.slots) t.pipelines 0
+
+let stored_invs t =
+  Hashtbl.fold (fun _ fp acc -> acc + Hashtbl.length fp.stored) t.follower_pipes 0
+
+let writes_size writes =
+  List.fold_left (fun acc (u : Txn.update) -> acc + Value.size u.data + 16) 64 writes
+
+(* ---------- coordinator -------------------------------------------------- *)
+
+let get_pipe t thread =
+  match Hashtbl.find_opt t.pipelines thread with
+  | Some p -> p
+  | None ->
+    let p = { next_slot = 0; slots = Hashtbl.create 32 } in
+    Hashtbl.replace t.pipelines thread p;
+    p
+
+(* Reliably committed: validate unchanged objects locally, finish freed
+   ones, and release the pipelining guard ([pending_rc]). *)
+let validate_local t (s : slot_state) =
+  List.iter
+    (fun (u : Txn.update) ->
+      match Table.find t.table u.key with
+      | Some obj ->
+        obj.Obj.pending_rc <- obj.Obj.pending_rc - 1;
+        if obj.Obj.t_version = u.version then begin
+          if u.freed then begin
+            Table.remove t.table u.key;
+            t.cb.on_freed u.key
+          end
+          else obj.Obj.t_state <- Types.T_valid
+        end
+      | None -> ())
+    s.s_writes;
+  t.n_durable <- t.n_durable + 1;
+  match s.s_on_durable with Some k -> k () | None -> ()
+
+let finish_slot t pipe (s : slot_state) =
+  Hashtbl.remove pipe.slots s.s_tx.slot;
+  validate_local t s;
+  let recipients =
+    List.filter (fun n -> live t n) (s.s_followers @ s.s_extra_vals)
+  in
+  List.iter (fun f -> send t ~dst:f ~size:32 (R_val { tx = s.s_tx })) recipients
+
+let commit t ~thread ~updates ?on_durable () =
+  t.n_started <- t.n_started + 1;
+  let pipe = get_pipe t thread in
+  let slot = pipe.next_slot in
+  pipe.next_slot <- slot + 1;
+  let tx = { pipe = { node = t.node; thread }; slot } in
+  let followers =
+    List.fold_left
+      (fun acc (u : Txn.update) ->
+        match Table.find t.table u.key with
+        | Some obj -> (
+          match obj.Obj.o_replicas with
+          | Some r ->
+            List.fold_left
+              (fun acc n -> if n = t.node || List.mem n acc then acc else n :: acc)
+              acc (Replicas.all r)
+          | None -> acc)
+        | None -> acc)
+      [] updates
+  in
+  let followers = List.filter (fun f -> live t f) followers in
+  if followers = [] then begin
+    (* Replication degree 1 (or all backups dead): durable immediately. *)
+    let s =
+      {
+        s_tx = tx;
+        s_writes = updates;
+        s_followers = [];
+        s_missing = [];
+        s_extra_vals = [];
+        s_on_durable = on_durable;
+      }
+    in
+    validate_local t s
+  end
+  else begin
+    let s =
+      {
+        s_tx = tx;
+        s_writes = updates;
+        s_followers = followers;
+        s_missing = followers;
+        s_extra_vals = [];
+        s_on_durable = on_durable;
+      }
+    in
+    Hashtbl.replace pipe.slots slot s;
+    let prev = Hashtbl.find_opt pipe.slots (slot - 1) in
+    let e = epoch t in
+    let size = writes_size updates in
+    List.iter
+      (fun f ->
+        let prev_val =
+          match prev with
+          | None -> true (* previous slot already validated (or none) *)
+          | Some ps ->
+            (* A partial-stream follower (§5.2): it will not see slot-1's
+               R-INV, so include it in slot-1's R-VAL broadcast. *)
+            if not (List.mem f ps.s_followers || List.mem f ps.s_extra_vals) then
+              ps.s_extra_vals <- f :: ps.s_extra_vals;
+            false
+        in
+        send t ~dst:f ~size
+          (R_inv { tx; epoch = e; followers; writes = updates; prev_val; replay = false }))
+      followers
+  end
+
+(* ---------- follower ------------------------------------------------------ *)
+
+let get_follower_pipe t pipe_id =
+  match Hashtbl.find_opt t.follower_pipes pipe_id with
+  | Some fp -> fp
+  | None ->
+    let fp = { cleared_upto = -1; stored = Hashtbl.create 32; buffered = Hashtbl.create 8 } in
+    Hashtbl.replace t.follower_pipes pipe_id fp;
+    fp
+
+let dead_stored_count t =
+  Hashtbl.fold
+    (fun (pid : pipe_id) fp acc ->
+      if live t pid.node then acc else acc + Hashtbl.length fp.stored)
+    t.follower_pipes 0
+
+let check_drained t =
+  match t.recovering_epoch with
+  | Some e when dead_stored_count t = 0 ->
+    t.recovering_epoch <- None;
+    t.cb.recovery_drained ~epoch:e
+  | Some _ | None -> ()
+
+(* Apply the writes of an R-INV version-monotonically (§5.1).  Receiving an
+   R-INV for an object we do not store means the coordinator just made us a
+   reader of it (object creation, §7 malloc) — install it.  Replays never
+   install: a reader that was reliably removed must not resurrect. *)
+let apply_writes t ~install writes =
+  List.iter
+    (fun (u : Txn.update) ->
+      match Table.find t.table u.key with
+      | Some obj ->
+        if u.version > obj.Obj.t_version then begin
+          obj.Obj.data <- u.data;
+          obj.Obj.t_version <- u.version;
+          obj.Obj.t_state <- Types.T_invalid
+        end
+      | None ->
+        if install && not u.freed then begin
+          let obj = Obj.create ~key:u.key ~role:Types.Reader ~version:u.version u.data in
+          obj.Obj.t_state <- Types.T_invalid;
+          Table.install t.table obj
+        end)
+    writes
+
+(* An R-VAL (or equivalent) for a stored R-INV: validate objects whose
+   version is unchanged, complete frees, discard the stored record. *)
+let validate_stored t fp slot (si : stored_inv) =
+  List.iter
+    (fun (u : Txn.update) ->
+      match Table.find t.table u.key with
+      | Some obj ->
+        if obj.Obj.t_version = u.version then begin
+          if u.freed then Table.remove t.table u.key
+          else if obj.Obj.t_state = Types.T_invalid then obj.Obj.t_state <- Types.T_valid
+        end
+      | None -> ())
+    si.i_writes;
+  Hashtbl.remove fp.stored slot;
+  check_drained t
+
+let rec drain_buffered t pipe_id fp =
+  let next = fp.cleared_upto + 1 in
+  match Hashtbl.find_opt fp.buffered next with
+  | Some b ->
+    Hashtbl.remove fp.buffered next;
+    apply_slot t pipe_id fp ~slot:next ~followers:b.b_followers ~writes:b.b_writes
+      ~src:b.b_src ~install:true;
+    drain_buffered t pipe_id fp
+  | None -> ()
+
+and apply_slot t pipe_id fp ~slot ~followers ~writes ~src ~install =
+  apply_writes t ~install writes;
+  Hashtbl.replace fp.stored slot
+    { i_tx = { pipe = pipe_id; slot }; i_followers = followers; i_writes = writes };
+  if slot > fp.cleared_upto then fp.cleared_upto <- slot;
+  send t ~dst:src ~size:32 (R_ack { tx = { pipe = pipe_id; slot }; sender = t.node })
+
+let handle_inv t ~src ~tx ~followers ~writes ~prev_val ~replay =
+  let fp = get_follower_pipe t tx.pipe in
+  if Hashtbl.mem fp.stored tx.slot || tx.slot <= fp.cleared_upto then
+    (* Duplicate (e.g. retransmission or concurrent replays): re-ACK. *)
+    send t ~dst:src ~size:32 (R_ack { tx; sender = t.node })
+  else begin
+    if prev_val && tx.slot - 1 > fp.cleared_upto then fp.cleared_upto <- tx.slot - 1;
+    if replay || fp.cleared_upto >= tx.slot - 1 then begin
+      apply_slot t tx.pipe fp ~slot:tx.slot ~followers ~writes ~src ~install:(not replay);
+      drain_buffered t tx.pipe fp
+    end
+    else
+      (* Out of pipeline order: hold until the previous slot clears. *)
+      Hashtbl.replace fp.buffered tx.slot
+        { b_followers = followers; b_writes = writes; b_src = src }
+  end
+
+let handle_val t ~tx =
+  match Hashtbl.find_opt t.follower_pipes tx.pipe with
+  | None -> ()
+  | Some fp ->
+    (match Hashtbl.find_opt fp.stored tx.slot with
+    | Some si -> validate_stored t fp tx.slot si
+    | None -> ());
+    if tx.slot > fp.cleared_upto then begin
+      fp.cleared_upto <- tx.slot;
+      drain_buffered t tx.pipe fp
+    end
+
+(* ---------- replay after a coordinator crash (§5.1) ---------------------- *)
+
+let finish_replay t (s : slot_state) =
+  Hashtbl.remove t.replaying s.s_tx;
+  (* Validate our own stored copy, then R-VAL the other followers. *)
+  (match Hashtbl.find_opt t.follower_pipes s.s_tx.pipe with
+  | Some fp -> (
+    match Hashtbl.find_opt fp.stored s.s_tx.slot with
+    | Some si -> validate_stored t fp s.s_tx.slot si
+    | None -> ())
+  | None -> ());
+  List.iter (fun f -> send t ~dst:f ~size:32 (R_val { tx = s.s_tx })) s.s_followers
+
+let start_replay t (si : stored_inv) =
+  if not (Hashtbl.mem t.replaying si.i_tx) then begin
+    t.n_replays <- t.n_replays + 1;
+    let others = List.filter (fun f -> f <> t.node && live t f) si.i_followers in
+    let s =
+      {
+        s_tx = si.i_tx;
+        s_writes = si.i_writes;
+        s_followers = others;
+        s_missing = others;
+        s_extra_vals = [];
+        s_on_durable = None;
+      }
+    in
+    if others = [] then finish_replay t s
+    else begin
+      Hashtbl.replace t.replaying si.i_tx s;
+      let e = epoch t in
+      let size = writes_size si.i_writes in
+      List.iter
+        (fun f ->
+          send t ~dst:f ~size
+            (R_inv
+               {
+                 tx = si.i_tx;
+                 epoch = e;
+                 followers = si.i_followers;
+                 writes = si.i_writes;
+                 prev_val = false;
+                 replay = true;
+               }))
+        others
+    end
+  end
+
+let handle_ack t ~tx ~sender =
+  if tx.pipe.node = t.node then begin
+    match Hashtbl.find_opt t.pipelines tx.pipe.thread with
+    | None -> ()
+    | Some pipe -> (
+      match Hashtbl.find_opt pipe.slots tx.slot with
+      | None -> ()
+      | Some s ->
+        s.s_missing <- List.filter (fun f -> f <> sender) s.s_missing;
+        if s.s_missing = [] then finish_slot t pipe s)
+  end
+  else begin
+    match Hashtbl.find_opt t.replaying tx with
+    | None -> ()
+    | Some s ->
+      s.s_missing <- List.filter (fun f -> f <> sender) s.s_missing;
+      if s.s_missing = [] then finish_replay t s
+  end
+
+(* ---------- membership --------------------------------------------------- *)
+
+let on_view_change t (v : View.t) =
+  let died = ref [] and revived = ref [] in
+  Array.iteri
+    (fun i was ->
+      if was && not (View.is_live v i) then died := i :: !died
+      else if (not was) && View.is_live v i then revived := i :: !revived)
+    t.prev_live;
+  t.prev_live <- Array.copy v.View.live;
+  (* A rejoined node is a fresh incarnation: its pipelines restart at slot
+     zero, so any stale follower-side pipe state must go. *)
+  List.iter
+    (fun node ->
+      let stale =
+        Hashtbl.fold
+          (fun (pid : pipe_id) _ acc -> if pid.node = node then pid :: acc else acc)
+          t.follower_pipes []
+      in
+      List.iter (Hashtbl.remove t.follower_pipes) stale)
+    !revived;
+  if !died <> [] then begin
+    let alive n = View.is_live v n in
+    (* Coordinator side: dead followers can never ack. *)
+    Hashtbl.iter
+      (fun _ pipe ->
+        let slots = Hashtbl.fold (fun _ s acc -> s :: acc) pipe.slots [] in
+        List.iter
+          (fun s ->
+            s.s_missing <- List.filter alive s.s_missing;
+            if s.s_missing = [] then finish_slot t pipe s)
+          slots)
+      t.pipelines;
+    (* Replayer side likewise. *)
+    let replays = Hashtbl.fold (fun _ s acc -> s :: acc) t.replaying [] in
+    List.iter
+      (fun s ->
+        s.s_missing <- List.filter alive s.s_missing;
+        if s.s_missing = [] then finish_replay t s)
+      replays;
+    (* Follower side: discard unappliable buffers of dead pipes and replay
+       every applied R-INV of a dead coordinator (§5.1). *)
+    t.recovering_epoch <- Some v.View.epoch;
+    Hashtbl.iter
+      (fun (pid : pipe_id) fp ->
+        if not (alive pid.node) then begin
+          Hashtbl.reset fp.buffered;
+          Hashtbl.iter (fun _ si -> start_replay t si) fp.stored
+        end)
+      t.follower_pipes;
+    check_drained t
+  end
+
+(* Fresh-incarnation reset for a rejoining node. *)
+let reset t =
+  Hashtbl.reset t.pipelines;
+  Hashtbl.reset t.follower_pipes;
+  Hashtbl.reset t.replaying;
+  t.recovering_epoch <- None
+
+(* ---------- dispatch ------------------------------------------------------ *)
+
+let handle t ~src payload =
+  match payload with
+  | R_inv { tx; epoch = e; followers; writes; prev_val; replay } ->
+    if e = epoch t then handle_inv t ~src ~tx ~followers ~writes ~prev_val ~replay;
+    true
+  | R_ack { tx; sender } ->
+    handle_ack t ~tx ~sender;
+    true
+  | R_val { tx } ->
+    handle_val t ~tx;
+    true
+  | _ -> false
+
+let create ~node ~table ~membership ~callbacks transport =
+  let engine = Zeus_net.Fabric.engine (Transport.fabric transport) in
+  let nodes = Zeus_net.Fabric.nodes (Transport.fabric transport) in
+  let t =
+    {
+      node;
+      table;
+      membership;
+      cb = callbacks;
+      transport;
+      engine;
+      pipelines = Hashtbl.create 16;
+      follower_pipes = Hashtbl.create 64;
+      replaying = Hashtbl.create 16;
+      prev_live = Array.make nodes true;
+      recovering_epoch = None;
+      n_started = 0;
+      n_durable = 0;
+      n_replays = 0;
+    }
+  in
+  Service.subscribe membership node (fun v -> on_view_change t v);
+  ignore t.engine;
+  t

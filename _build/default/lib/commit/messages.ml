@@ -1,0 +1,18 @@
+open Zeus_store
+
+type pipe_id = { node : Types.node_id; thread : int }
+type tx_id = { pipe : pipe_id; slot : int }
+
+let pp_tx ppf tx = Format.fprintf ppf "n%d.t%d#%d" tx.pipe.node tx.pipe.thread tx.slot
+
+type Zeus_net.Msg.payload +=
+  | R_inv of {
+      tx : tx_id;
+      epoch : int;
+      followers : Types.node_id list;
+      writes : Txn.update list;
+      prev_val : bool;
+      replay : bool;
+    }
+  | R_ack of { tx : tx_id; sender : Types.node_id }
+  | R_val of { tx : tx_id }

@@ -1,0 +1,27 @@
+(** Wire messages of the reliable commit protocol (§5, Figure 4). *)
+
+open Zeus_store
+
+(** Reliable commits are ordered within per-thread pipelines (§5.2, §7):
+    [pipe] identifies the coordinator thread and [slot] is the
+    monotonically increasing [local_tx_id] within it. *)
+type pipe_id = { node : Types.node_id; thread : int }
+
+type tx_id = { pipe : pipe_id; slot : int }
+
+val pp_tx : Format.formatter -> tx_id -> unit
+
+type Zeus_net.Msg.payload +=
+  | R_inv of {
+      tx : tx_id;
+      epoch : int;
+      followers : Types.node_id list;
+      writes : Txn.update list;
+      prev_val : bool;
+          (** the coordinator has already broadcast R-VALs for the previous
+              slot of this pipeline, so a partial-stream follower may treat
+              it as cleared (§5.2) *)
+      replay : bool;  (** replayed by a follower after a coordinator crash *)
+    }
+  | R_ack of { tx : tx_id; sender : Types.node_id }
+  | R_val of { tx : tx_id }

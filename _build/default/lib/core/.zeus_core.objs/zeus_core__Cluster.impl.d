@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Bytes Config Format Hashtbl History List Node Obj Replicas String Table Types Value Zeus_membership Zeus_net Zeus_ownership Zeus_sim Zeus_store

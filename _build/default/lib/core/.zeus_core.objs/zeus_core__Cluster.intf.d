@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Config History Node Types Value Zeus_membership Zeus_net Zeus_sim Zeus_store

@@ -1,0 +1,1 @@
+lib/core/config.ml: List Zeus_net Zeus_ownership Zeus_store

@@ -1,0 +1,1 @@
+lib/core/history.ml: Float Format Hashtbl List Option Printf String Types Zeus_store

@@ -1,0 +1,1 @@
+lib/core/node.ml: Array Config Float History List Obj Option Queue Replicas Result Table Txn Types Value Zeus_commit Zeus_membership Zeus_net Zeus_ownership Zeus_sim Zeus_store

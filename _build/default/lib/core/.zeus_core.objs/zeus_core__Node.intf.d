@@ -1,0 +1,1 @@
+lib/core/node.mli: Config History Table Txn Types Value Zeus_commit Zeus_membership Zeus_net Zeus_ownership Zeus_sim Zeus_store

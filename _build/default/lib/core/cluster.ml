@@ -1,0 +1,188 @@
+module Engine = Zeus_sim.Engine
+module Fabric = Zeus_net.Fabric
+module Transport = Zeus_net.Transport
+module Service = Zeus_membership.Service
+module View = Zeus_membership.View
+module Own = Zeus_ownership
+open Zeus_store
+
+type t = {
+  config : Config.t;
+  engine : Engine.t;
+  fabric : Fabric.t;
+  transport : Transport.t;
+  membership : Service.t;
+  history : History.t option;
+  nodes : Node.t array;
+}
+
+let create ?(config = Config.default) () =
+  let engine = Engine.create ~seed:config.Config.seed () in
+  let fabric = Fabric.create engine ~nodes:config.Config.nodes config.Config.fabric in
+  let transport = Transport.create ~config:config.Config.transport fabric in
+  let membership =
+    Service.create ~lease_us:config.Config.lease_us ~detect_us:config.Config.detect_us
+      transport
+  in
+  let history = if config.Config.record_history then Some (History.create ()) else None in
+  let nodes =
+    Array.init config.Config.nodes (fun id ->
+        Node.create ~config ~id ~transport ~membership ~history)
+  in
+  { config; engine; fabric; transport; membership; history; nodes }
+
+let config t = t.config
+let engine t = t.engine
+let fabric t = t.fabric
+let transport t = t.transport
+let membership t = t.membership
+let history t = t.history
+let nodes t = Array.length t.nodes
+let node t i = t.nodes.(i)
+
+let populate t ~key ~owner value =
+  let replicas = Config.default_replicas t.config ~owner in
+  List.iter
+    (fun n ->
+      let role = if n = owner then Types.Owner else Types.Reader in
+      let obj = Obj.create ~key ~role ~version:1 (Bytes.copy value) in
+      if role = Types.Owner then obj.Obj.o_replicas <- Some replicas;
+      Table.install (Node.table t.nodes.(n)) obj)
+    (Replicas.all replicas);
+  List.iter
+    (fun d -> Own.Agent.seed_directory (Node.ownership_agent t.nodes.(d)) key replicas)
+    (Config.dir_nodes_for t.config ~key)
+
+let populate_n t ~n ?(base = 0) ~owner_of value_of =
+  for i = 0 to n - 1 do
+    populate t ~key:(base + i) ~owner:(owner_of i) (value_of i)
+  done
+
+let kill t i = Service.kill t.membership i
+let rejoin t i =
+  (* crash-stop: the node returns as a fresh, empty incarnation *)
+  Node.reset t.nodes.(i);
+  Service.rejoin t.membership i
+
+let run t ~until_us = Engine.run ~until:until_us t.engine
+
+let run_quiesce t ?(max_us = 1e8) () =
+  Engine.run ~until:(Engine.now t.engine +. max_us) t.engine
+
+let total_committed t = Array.fold_left (fun acc n -> acc + Node.committed n) 0 t.nodes
+let total_aborted t = Array.fold_left (fun acc n -> acc + Node.aborted n) 0 t.nodes
+
+let total_ro_committed t =
+  Array.fold_left (fun acc n -> acc + Node.ro_committed n) 0 t.nodes
+
+(* ---------- invariants (§8) ---------------------------------------------- *)
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let live_nodes t =
+  List.filter (fun i -> Fabric.is_alive t.fabric i) (List.init (nodes t) (fun i -> i))
+
+let all_keys t =
+  let keys = Hashtbl.create 1024 in
+  List.iter
+    (fun i ->
+      Table.iter (Node.table t.nodes.(i)) (fun obj -> Hashtbl.replace keys obj.Obj.key ()))
+    (live_nodes t);
+  Hashtbl.fold (fun k () acc -> k :: acc) keys []
+
+let check_key t key =
+  let live = live_nodes t in
+  let holders =
+    List.filter_map
+      (fun i ->
+        match Table.find (Node.table t.nodes.(i)) key with
+        | Some obj -> Some (i, obj)
+        | None -> None)
+      live
+  in
+  let owners = List.filter (fun (_, o) -> Obj.is_owner o) holders in
+  match owners with
+  | _ :: _ :: _ ->
+    err "key %d: multiple live owners (%s)" key
+      (String.concat "," (List.map (fun (i, _) -> string_of_int i) owners))
+  | _ ->
+    let vmax = List.fold_left (fun acc (_, o) -> max acc o.Obj.t_version) 0 holders in
+    let owner_ok =
+      match owners with
+      | [ (_, o) ] -> o.Obj.t_version = vmax
+      | _ -> true
+    in
+    if not owner_ok then err "key %d: owner does not hold the highest version" key
+    else begin
+      (* All live replicas in Valid state must agree on the latest value. *)
+      let valid = List.filter (fun (_, o) -> o.Obj.t_state = Types.T_valid) holders in
+      let mismatch =
+        List.exists
+          (fun (_, o) -> o.Obj.t_version = vmax
+                         && List.exists
+                              (fun (_, o') ->
+                                o'.Obj.t_version = vmax
+                                && not (Value.equal o.Obj.data o'.Obj.data))
+                              valid)
+          valid
+      in
+      if mismatch then err "key %d: valid replicas disagree on data" key
+      else begin
+        (* Directory agreement is timestamp-relative: a replica whose
+           pending arbitration was rolled back (busy-NACK) may lag at an
+           older o_ts until the next arbitration repairs it — that is safe
+           because every request is arbitrated by all live directory
+           replicas plus the true owner.  What must hold: entries at the
+           owner's timestamp name the owner, no entry is ahead of the
+           owner, and equal-timestamp entries agree pairwise. *)
+        let entries =
+          List.filter_map
+            (fun d ->
+              if not (Fabric.is_alive t.fabric d) then None
+              else
+                let dir = Own.Agent.directory (Node.ownership_agent t.nodes.(d)) in
+                match Own.Directory.find dir key with
+                | Some entry when entry.Own.Directory.pending = None ->
+                  Some (d, entry.Own.Directory.o_ts, entry.Own.Directory.replicas)
+                | Some _ | None -> None)
+            (Config.dir_nodes_for t.config ~key)
+        in
+        let pairwise_ok =
+          List.for_all
+            (fun (_, ts1, r1) ->
+              List.for_all
+                (fun (_, ts2, r2) ->
+                  (not (Zeus_store.Ots.equal ts1 ts2))
+                  || r1.Replicas.owner = r2.Replicas.owner)
+                entries)
+            entries
+        in
+        if not pairwise_ok then
+          err "key %d: equal-timestamp directory replicas disagree" key
+        else begin
+          match owners with
+          | [ (i, obj) ] ->
+            let owner_ts = obj.Obj.o_ts in
+            let ok =
+              List.for_all
+                (fun (_, ts, r) ->
+                  if Zeus_store.Ots.equal ts owner_ts then r.Replicas.owner = Some i
+                  else not Zeus_store.Ots.(ts > owner_ts))
+                entries
+            in
+            if ok then Ok ()
+            else err "key %d: directory disagrees with the owner at its o_ts" key
+          | _ -> Ok ()
+        end
+      end
+    end
+
+let check_invariants t =
+  let keys = all_keys t in
+  let rec go = function
+    | [] -> (
+      match t.history with Some h -> History.check h | None -> Ok ())
+    | key :: rest -> (
+      match check_key t key with Ok () -> go rest | Error _ as e -> e)
+  in
+  go keys

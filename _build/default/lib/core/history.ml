@@ -1,0 +1,137 @@
+open Zeus_store
+
+type version_info = { local_t : float; mutable durable_t : float }
+
+type write_txn = {
+  w_node : Types.node_id;
+  w_reads : (Types.key * int) list;
+  w_writes : (Types.key * int) list;
+}
+
+type ro_txn = { r_node : Types.node_id; r_reads : (Types.key * int) list; r_time : float }
+
+type t = {
+  versions : (Types.key * int, version_info) Hashtbl.t;
+  max_version : (Types.key, int) Hashtbl.t;
+  mutable write_txns : write_txn list;
+  mutable ro_txns : ro_txn list;
+  mutable n_writes : int;
+}
+
+let create () =
+  {
+    versions = Hashtbl.create 4096;
+    max_version = Hashtbl.create 1024;
+    write_txns = [];
+    ro_txns = [];
+    n_writes = 0;
+  }
+
+let record_commit t ~node ~reads ~writes ~time =
+  List.iter
+    (fun (key, version) ->
+      Hashtbl.replace t.versions (key, version) { local_t = time; durable_t = infinity };
+      let cur = Option.value ~default:0 (Hashtbl.find_opt t.max_version key) in
+      if version > cur then Hashtbl.replace t.max_version key version)
+    writes;
+  t.write_txns <- { w_node = node; w_reads = reads; w_writes = writes } :: t.write_txns;
+  t.n_writes <- t.n_writes + 1
+
+let record_durable t ~writes ~time =
+  List.iter
+    (fun (key, version) ->
+      match Hashtbl.find_opt t.versions (key, version) with
+      | Some info -> if time < info.durable_t then info.durable_t <- time
+      | None -> ())
+    writes
+
+let record_ro t ~node ~reads ~time =
+  t.ro_txns <- { r_node = node; r_reads = reads; r_time = time } :: t.ro_txns
+
+let writes t = t.n_writes
+let read_only_txns t = List.length t.ro_txns
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let check_version_sequences t =
+  (* Initially populated versions predate recording; require contiguity from
+     the smallest version the history has seen for each key. *)
+  let minv key maxv =
+    let rec go v = if v >= maxv || Hashtbl.mem t.versions (key, v) then v else go (v + 1) in
+    go 1
+  in
+  Hashtbl.fold
+    (fun key maxv acc ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        let rec go v =
+          if v > maxv then Ok ()
+          else if Hashtbl.mem t.versions (key, v) then go (v + 1)
+          else err "key %d: version %d missing (max %d) — lost update" key v maxv
+        in
+        go (minv key maxv))
+    t.max_version (Ok ())
+
+let check_write_reads t =
+  List.fold_left
+    (fun acc txn ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        List.fold_left
+          (fun acc (key, read_v) ->
+            match acc with
+            | Error _ -> acc
+            | Ok () -> (
+              match List.assoc_opt key txn.w_writes with
+              | Some written_v when written_v <> read_v + 1 ->
+                err "node %d: read key %d@%d but wrote version %d (expected %d)"
+                  txn.w_node key read_v written_v (read_v + 1)
+              | Some _ | None -> Ok ()))
+          (Ok ()) txn.w_reads)
+    (Ok ()) t.write_txns
+
+(* Validity window of (key, v): starts at its local commit, ends when v+1 is
+   reliably committed (or never, if v is the latest). *)
+let window t key v =
+  let start =
+    match Hashtbl.find_opt t.versions (key, v) with
+    | Some info -> info.local_t
+    | None -> 0.0 (* initially populated versions predate recording *)
+  in
+  let stop =
+    match Hashtbl.find_opt t.versions (key, v + 1) with
+    | Some next -> next.durable_t
+    | None -> infinity
+  in
+  (start, stop)
+
+let check_ro_snapshots t =
+  List.fold_left
+    (fun acc ro ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        let lo, hi =
+          List.fold_left
+            (fun (lo, hi) (key, v) ->
+              let start, stop = window t key v in
+              (Float.max lo start, Float.min hi stop))
+            (0.0, infinity) ro.r_reads
+        in
+        if Float.is_nan lo || lo > hi then
+          err "node %d: read-only snapshot at t=%.1f is inconsistent: %s" ro.r_node
+            ro.r_time
+            (String.concat ", "
+               (List.map (fun (k, v) -> Printf.sprintf "%d@%d" k v) ro.r_reads))
+        else Ok ())
+    (Ok ()) t.ro_txns
+
+let check t =
+  match check_version_sequences t with
+  | Error _ as e -> e
+  | Ok () -> (
+    match check_write_reads t with
+    | Error _ as e -> e
+    | Ok () -> check_ro_snapshots t)

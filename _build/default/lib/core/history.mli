@@ -1,0 +1,47 @@
+(** Committed-history recorder and consistency checker.
+
+    Used by the test suite as an executable counterpart of the paper's
+    TLA+ invariants (§8): it records every committed transaction cluster-wide
+    and checks that the history is consistent with strict serializability.
+
+    The model: version [v] of key [k] becomes visible at its coordinator's
+    local commit and stops being returnable anywhere once version [v + 1]
+    is {e reliably} committed (a reader returns [v + 1] only after R-VAL,
+    which the coordinator sends only after every reader of [v + 1]
+    invalidated — so no reader can still serve [v], §5.3).  Hence a
+    read-only transaction's snapshot [(k₁, v₁) … (kₙ, vₙ)] is consistent
+    iff the validity windows [local_commit(vᵢ), reliable_commit(vᵢ + 1))
+    have a common point. *)
+
+open Zeus_store
+
+type t
+
+val create : unit -> t
+
+val record_commit :
+  t ->
+  node:Types.node_id ->
+  reads:(Types.key * int) list ->
+  writes:(Types.key * int) list ->
+  time:float ->
+  unit
+(** A write transaction's local commit: [writes] carry the new versions,
+    [reads] the versions observed. *)
+
+val record_durable : t -> writes:(Types.key * int) list -> time:float -> unit
+(** The same transaction's reliable commit. *)
+
+val record_ro : t -> node:Types.node_id -> reads:(Types.key * int) list -> time:float -> unit
+(** A committed read-only transaction (on any replica). *)
+
+val writes : t -> int
+val read_only_txns : t -> int
+
+val check : t -> (unit, string) result
+(** All checks:
+    - per key, committed write versions are gapless and unique;
+    - a write transaction that read [(k, v)] and wrote [k] produced [v + 1]
+      (no lost updates);
+    - every read-only snapshot has a non-empty validity-window
+      intersection. *)

@@ -1,0 +1,483 @@
+module Engine = Zeus_sim.Engine
+module Resource = Zeus_sim.Resource
+module Rng = Zeus_sim.Rng
+module Stats = Zeus_sim.Stats
+module Transport = Zeus_net.Transport
+module Fabric = Zeus_net.Fabric
+module Service = Zeus_membership.Service
+module Own = Zeus_ownership
+module Com = Zeus_commit
+open Zeus_store
+
+type t = {
+  id : Types.node_id;
+  config : Config.t;
+  engine : Engine.t;
+  transport : Transport.t;
+  membership : Service.t;
+  table : Table.t;
+  mutable ownership : Own.Agent.t option;  (* set right after create *)
+  mutable commit : Com.Agent.t option;
+  ds : Resource.t;
+  rng : Rng.t;
+  history : History.t option;
+  outstanding_rc : int array;  (* per app thread: in-flight reliable commits *)
+  waiters : (unit -> unit) Queue.t array;
+  mutable app_handler : (src:Types.node_id -> Zeus_net.Msg.payload -> unit) option;
+  mutable n_committed : int;
+  mutable n_aborted : int;
+  mutable n_ro_committed : int;
+  mutable n_ro_aborted : int;
+  mutable n_retries : int;
+  mutable n_txn_with_ownership : int;
+}
+
+let id t = t.id
+let table t = t.table
+let engine t = t.engine
+let config t = t.config
+let ds t = t.ds
+let ownership_agent t = Option.get t.ownership
+let commit_agent t = Option.get t.commit
+let committed t = t.n_committed
+let aborted t = t.n_aborted
+let ro_committed t = t.n_ro_committed
+let ro_aborted t = t.n_ro_aborted
+let retries t = t.n_retries
+let txns_with_ownership t = t.n_txn_with_ownership
+let ownership_latency t = Own.Agent.latency_samples (ownership_agent t)
+let is_alive t = Fabric.is_alive (Transport.fabric t.transport) t.id
+let set_app_handler t fn = t.app_handler <- Some fn
+
+let send_app t ~dst ?size payload = Transport.send t.transport ~src:t.id ~dst ?size payload
+
+(* ------ CPU cost of one received protocol message ------------------------ *)
+
+let payload_cost config payload =
+  let c = config.Config.msg_proc_us in
+  let bytes n = float_of_int n *. config.Config.byte_proc_us in
+  match payload with
+  | Com.Messages.R_inv { writes; _ } ->
+    c +. bytes (List.fold_left (fun a (u : Txn.update) -> a + Value.size u.data) 0 writes)
+  | Own.Messages.O_ack { data = Some d; _ } | Own.Messages.O_resp { data = Some d; _ } ->
+    c +. bytes (Value.size d.Own.Messages.value)
+  | _ -> c
+
+(* ------ ownership callbacks ---------------------------------------------- *)
+
+let obj_busy t key =
+  match Table.find t.table key with
+  | Some obj ->
+    obj.Obj.lock_thread <> None
+    || obj.Obj.pending_rc > 0
+    || obj.Obj.t_state <> Types.T_valid
+  | None -> false
+
+let apply_arbiter t ~key ~kind ~o_ts ~replicas ~requester =
+  ignore requester;
+  match Table.find t.table key with
+  | None -> ()
+  | Some obj -> (
+    obj.Obj.o_ts <- o_ts;
+    match kind with
+    | Own.Messages.Acquire ->
+      if Obj.is_owner obj then begin
+        (* Another node took over: demote to reader (§4); we keep the data
+           and keep serving read-only transactions (§5.3). *)
+        obj.Obj.role <- Types.Reader;
+        obj.Obj.o_replicas <- None
+      end
+    | Own.Messages.Add_reader ->
+      if Obj.is_owner obj then obj.Obj.o_replicas <- Some replicas
+    | Own.Messages.Remove_reader r ->
+      if r = t.id then Table.remove t.table key
+      else if Obj.is_owner obj then obj.Obj.o_replicas <- Some replicas)
+
+let apply_requester t ~key ~kind ~o_ts ~replicas ~data =
+  match kind with
+  | Own.Messages.Acquire | Own.Messages.Add_reader ->
+    let role =
+      match kind with Own.Messages.Acquire -> Types.Owner | _ -> Types.Reader
+    in
+    let obj =
+      match Table.find t.table key with
+      | Some obj ->
+        (match data with
+        | Some d when d.Own.Messages.t_version > obj.Obj.t_version ->
+          obj.Obj.data <- d.Own.Messages.value;
+          obj.Obj.t_version <- d.Own.Messages.t_version;
+          obj.Obj.t_state <- Types.T_valid
+        | Some _ | None -> ());
+        obj
+      | None ->
+        let d = Option.get data in
+        let obj =
+          Obj.create ~key ~role ~version:d.Own.Messages.t_version ~o_ts
+            d.Own.Messages.value
+        in
+        Table.install t.table obj;
+        obj
+    in
+    obj.Obj.role <- role;
+    obj.Obj.o_ts <- o_ts;
+    obj.Obj.o_state <- Types.O_valid;
+    obj.Obj.o_replicas <- (if role = Types.Owner then Some replicas else None)
+  | Own.Messages.Remove_reader r -> (
+    match Table.find t.table key with
+    | Some obj ->
+      obj.Obj.o_ts <- o_ts;
+      if r = t.id then Table.remove t.table key
+      else if Obj.is_owner obj then obj.Obj.o_replicas <- Some replicas
+    | None -> ())
+
+(* ------ construction ------------------------------------------------------ *)
+
+let create ~config ~id ~transport ~membership ~history =
+  let engine = Fabric.engine (Transport.fabric transport) in
+  let t =
+    {
+      id;
+      config;
+      engine;
+      transport;
+      membership;
+      table = Table.create ~node:id;
+      ownership = None;
+      commit = None;
+      ds = Resource.create engine ~servers:config.Config.ds_threads;
+      rng = Engine.fork_rng engine;
+      history;
+      outstanding_rc = Array.make config.Config.app_threads 0;
+      waiters = Array.init config.Config.app_threads (fun _ -> Queue.create ());
+      app_handler = None;
+      n_committed = 0;
+      n_aborted = 0;
+      n_ro_committed = 0;
+      n_ro_aborted = 0;
+      n_retries = 0;
+      n_txn_with_ownership = 0;
+    }
+  in
+  let own_cb =
+    {
+      Own.Agent.is_busy = (fun key -> obj_busy t key);
+      apply_arbiter =
+        (fun ~key ~kind ~o_ts ~replicas ~requester ->
+          apply_arbiter t ~key ~kind ~o_ts ~replicas ~requester);
+      apply_requester =
+        (fun ~key ~kind ~o_ts ~replicas ~data ->
+          apply_requester t ~key ~kind ~o_ts ~replicas ~data);
+    }
+  in
+  let ownership =
+    Own.Agent.create ~config:config.Config.ownership ~node:id
+      ~dir_nodes_of:(fun key -> Config.dir_nodes_for config ~key)
+      ~table:t.table ~membership ~callbacks:own_cb
+      transport
+  in
+  t.ownership <- Some ownership;
+  let com_cb =
+    {
+      Com.Agent.on_freed = (fun key -> Own.Agent.forget_object ownership key);
+      recovery_drained =
+        (fun ~epoch -> Own.Agent.announce_recovery_done ownership ~epoch);
+    }
+  in
+  let commit =
+    Com.Agent.create ~node:id ~table:t.table ~membership ~callbacks:com_cb transport
+  in
+  t.commit <- Some commit;
+  Transport.set_handler transport id (fun ~src payload ->
+      (* Every received message costs datastore-worker CPU. *)
+      Resource.submit t.ds ~service:(payload_cost config payload) (fun () ->
+          if not (Own.Agent.handle ownership ~src payload) then
+            if not (Com.Agent.handle commit ~src payload) then
+              match t.app_handler with Some fn -> fn ~src payload | None -> ()));
+  t
+
+(* A rejoining node comes back as a fresh incarnation (§3.1 crash-stop):
+   no objects, no protocol state, empty pipelines. *)
+let reset t =
+  List.iter (Table.remove t.table) (Table.keys t.table);
+  Own.Agent.reset (ownership_agent t);
+  Com.Agent.reset (commit_agent t);
+  Array.fill t.outstanding_rc 0 (Array.length t.outstanding_rc) 0;
+  Array.iter Queue.clear t.waiters
+
+(* ------ sharding control -------------------------------------------------- *)
+
+let maybe_trim t key =
+  if t.config.Config.auto_trim then
+    match Table.find t.table key with
+    | Some obj when Obj.is_owner obj -> (
+      match obj.Obj.o_replicas with
+      | Some r when Replicas.count r > t.config.Config.replication_degree -> (
+        match List.rev r.Replicas.readers with
+        | victim :: _ ->
+          (* Out of the critical path (§6.2): wait for the pipeline to
+             drain, then reliably discard a reader. *)
+          let rec attempt tries =
+            ignore
+              (Engine.schedule t.engine ~after:20.0 (fun () ->
+                   if obj_busy t key && tries > 0 then attempt (tries - 1)
+                   else
+                     Own.Agent.request (ownership_agent t) ~key
+                       ~kind:(Own.Messages.Remove_reader victim)
+                       ~k:(fun _ -> ())))
+          in
+          attempt 10
+        | [] -> ())
+      | Some _ | None -> ())
+    | Some _ | None -> ()
+
+let acquire_ownership t key k =
+  match Table.find t.table key with
+  | Some obj when Obj.is_owner obj && obj.Obj.o_state = Types.O_valid -> k (Ok ())
+  | Some _ | None ->
+    ignore
+      (Engine.schedule t.engine ~after:t.config.Config.ownership_dispatch_us (fun () ->
+           Own.Agent.request (ownership_agent t) ~key ~kind:Own.Messages.Acquire
+             ~k:(fun result ->
+               if Result.is_ok result then maybe_trim t key;
+               k result)))
+
+let add_reader t key k =
+  match Table.find t.table key with
+  | Some _ -> k (Ok ())
+  | None ->
+    Own.Agent.request (ownership_agent t) ~key ~kind:Own.Messages.Add_reader ~k
+
+let role t key =
+  match Table.find t.table key with Some obj -> Some obj.Obj.role | None -> None
+
+(* ------ transactions ------------------------------------------------------ *)
+
+type ctx = {
+  node : t;
+  txn : Txn.t;
+  mutable reads : (Types.key * int) list;
+  mutable used_ownership : bool;
+  mutable state : [ `Running | `Failed of Txn.abort_reason | `Done ];
+  on_fail : Txn.abort_reason -> unit;
+}
+
+let guard ctx fn = match ctx.state with `Running -> fn () | `Failed _ | `Done -> ()
+
+let fail ctx reason =
+  match ctx.state with
+  | `Running ->
+    ctx.state <- `Failed reason;
+    Txn.abort ctx.txn;
+    ctx.on_fail reason
+  | `Failed _ | `Done -> ()
+
+let note_read ctx key =
+  match Table.find ctx.node.table key with
+  | Some obj -> ctx.reads <- (key, obj.Obj.t_version) :: ctx.reads
+  | None -> ()
+
+(* Secure write-level ownership before touching an object in a write
+   transaction (§3.2 step 1); blocks the app thread if a request is
+   needed — the only blocking point in Zeus. *)
+let ensure_owner ctx key k =
+  guard ctx (fun () ->
+      let t = ctx.node in
+      match Table.find t.table key with
+      | Some obj when Obj.is_owner obj && obj.Obj.o_state = Types.O_valid -> k ()
+      | Some obj when obj.Obj.o_state <> Types.O_valid ->
+        (* An arbitration for this object is pending at this node (we are
+           an arbiter or a requester): do not touch it; retry with
+           back-off until the ownership protocol settles (§4.1). *)
+        fail ctx (Txn.Ownership_refused key)
+      | Some _ | None ->
+        ctx.used_ownership <- true;
+        ignore
+          (Engine.schedule t.engine ~after:t.config.Config.ownership_dispatch_us
+             (fun () ->
+               Own.Agent.request (ownership_agent t) ~key ~kind:Own.Messages.Acquire
+                 ~k:(fun result ->
+                   guard ctx (fun () ->
+                       match result with
+                       | Ok () ->
+                         maybe_trim t key;
+                         k ()
+                       | Error _ -> fail ctx (Txn.Ownership_refused key))))))
+
+let read ctx key k =
+  guard ctx (fun () ->
+      if Txn.is_read_only ctx.txn then begin
+        note_read ctx key;
+        match Txn.open_read ctx.txn key with
+        | Ok v -> k v
+        | Error reason -> fail ctx reason
+      end
+      else
+        ensure_owner ctx key (fun () ->
+            if not (Txn.written ctx.txn key) then note_read ctx key;
+            match Txn.open_read ctx.txn key with
+            | Ok v -> k v
+            | Error reason -> fail ctx reason))
+
+let write ctx key value k =
+  guard ctx (fun () ->
+      ensure_owner ctx key (fun () ->
+          match Txn.open_write ctx.txn key with
+          | Ok _ ->
+            Txn.put ctx.txn key value;
+            k ()
+          | Error reason -> fail ctx reason))
+
+let read_write ctx key f k =
+  guard ctx (fun () ->
+      ensure_owner ctx key (fun () ->
+          if not (Txn.written ctx.txn key) then note_read ctx key;
+          match Txn.open_write ctx.txn key with
+          | Ok v ->
+            let v' = f v in
+            Txn.put ctx.txn key v';
+            k v'
+          | Error reason -> fail ctx reason))
+
+let insert ctx key value = guard ctx (fun () -> Txn.create_obj ctx.txn key value)
+
+let delete ctx key k =
+  guard ctx (fun () ->
+      ensure_owner ctx key (fun () ->
+          match Txn.free_obj ctx.txn key with
+          | Ok () -> k ()
+          | Error reason -> fail ctx reason))
+
+(* ------ commit machinery -------------------------------------------------- *)
+
+let release_pipeline_slot t thread =
+  t.outstanding_rc.(thread) <- t.outstanding_rc.(thread) - 1;
+  if not (Queue.is_empty t.waiters.(thread)) then (Queue.pop t.waiters.(thread)) ()
+
+(* Created objects need their replica set assigned (and the directory told)
+   before the reliable commit picks followers. *)
+let prepare_created t (updates : Txn.update list) =
+  List.iter
+    (fun (u : Txn.update) ->
+      match Table.find t.table u.key with
+      | Some obj when Obj.is_owner obj && obj.Obj.o_replicas = None ->
+        let replicas = Config.default_replicas t.config ~owner:t.id in
+        obj.Obj.o_replicas <- Some replicas;
+        Own.Agent.register_object (ownership_agent t) u.key replicas
+      | Some _ | None -> ())
+    updates
+
+let start_reliable_commit t ~thread ~(updates : Txn.update list) =
+  let bytes = List.fold_left (fun a (u : Txn.update) -> a + Value.size u.data) 0 updates in
+  let followers = t.config.Config.replication_degree - 1 in
+  let send_cost =
+    float_of_int followers
+    *. (t.config.Config.msg_proc_us
+       +. (float_of_int bytes *. t.config.Config.byte_proc_us))
+  in
+  t.outstanding_rc.(thread) <- t.outstanding_rc.(thread) + 1;
+  let write_versions = List.map (fun (u : Txn.update) -> (u.Txn.key, u.Txn.version)) updates in
+  (* Broadcasting the R-INVs consumes datastore-worker CPU at the
+     coordinator; the app thread does NOT wait (§5.2). *)
+  Resource.submit t.ds ~service:send_cost (fun () ->
+      Com.Agent.commit (commit_agent t) ~thread ~updates
+        ~on_durable:(fun () ->
+          (match t.history with
+          | Some h ->
+            History.record_durable h ~writes:write_versions ~time:(Engine.now t.engine)
+          | None -> ());
+          release_pipeline_slot t thread)
+        ())
+
+let backoff t attempt =
+  let base = t.config.Config.backoff_base_us in
+  let cap = t.config.Config.backoff_max_us in
+  let d = base *. (2.0 ** float_of_int (min attempt 12)) in
+  let d = Float.min d cap in
+  d *. (0.5 +. Rng.float t.rng 1.0)
+
+let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
+  let rec attempt n =
+    if not (is_alive t) then k (Txn.Aborted Txn.Node_dead)
+    else begin
+      let txn =
+        if read_only then Txn.create_read t.table ~thread
+        else Txn.create_write t.table ~thread
+      in
+      let on_fail reason =
+        t.n_retries <- t.n_retries + 1;
+        if n >= t.config.Config.max_retries then begin
+          if read_only then t.n_ro_aborted <- t.n_ro_aborted + 1
+          else t.n_aborted <- t.n_aborted + 1;
+          k (Txn.Aborted reason)
+        end
+        else
+          ignore
+            (Engine.schedule t.engine ~after:(backoff t n) (fun () -> attempt (n + 1)))
+      in
+      let ctx =
+        { node = t; txn; reads = []; used_ownership = false; state = `Running; on_fail }
+      in
+      let commit_now () =
+        guard ctx (fun () ->
+            ignore
+              (Engine.schedule t.engine ~after:t.config.Config.local_commit_us
+                 (fun () ->
+                   match Txn.local_commit ctx.txn with
+                   | Error reason -> fail ctx reason
+                   | Ok [] ->
+                     ctx.state <- `Done;
+                     if read_only then begin
+                       t.n_ro_committed <- t.n_ro_committed + 1;
+                       (match t.history with
+                       | Some h when ctx.reads <> [] ->
+                         History.record_ro h ~node:t.id ~reads:ctx.reads
+                           ~time:(Engine.now t.engine)
+                       | Some _ | None -> ())
+                     end
+                     else begin
+                       t.n_committed <- t.n_committed + 1;
+                       if ctx.used_ownership then
+                         t.n_txn_with_ownership <- t.n_txn_with_ownership + 1
+                     end;
+                     k Txn.Committed
+                   | Ok updates ->
+                     ctx.state <- `Done;
+                     t.n_committed <- t.n_committed + 1;
+                     if ctx.used_ownership then
+                       t.n_txn_with_ownership <- t.n_txn_with_ownership + 1;
+                     prepare_created t updates;
+                     (match t.history with
+                     | Some h ->
+                       History.record_commit h ~node:t.id ~reads:ctx.reads
+                         ~writes:
+                           (List.map
+                              (fun (u : Txn.update) -> (u.Txn.key, u.Txn.version))
+                              updates)
+                         ~time:(Engine.now t.engine)
+                     | None -> ());
+                     let proceed () = start_reliable_commit t ~thread ~updates in
+                     if t.outstanding_rc.(thread) >= t.config.Config.pipeline_depth
+                     then begin
+                       (* Pipeline full: flow-control the thread. *)
+                       Queue.push
+                         (fun () ->
+                           proceed ();
+                           k Txn.Committed)
+                         t.waiters.(thread)
+                     end
+                     else begin
+                       proceed ();
+                       (* Pipelined: the app continues immediately. *)
+                       k Txn.Committed
+                     end)))
+      in
+      ignore
+        (Engine.schedule t.engine
+           ~after:(exec_us +. t.config.Config.txn_dispatch_us)
+           (fun () -> body ctx commit_now))
+    end
+  in
+  attempt 0
+
+let run_write t ~thread ?exec_us ~body k = run_txn ~read_only:false t ~thread ?exec_us ~body k
+let run_read t ~thread ?exec_us ~body k = run_txn ~read_only:true t ~thread ?exec_us ~body k

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Bytes Exp List Printf Zeus_core Zeus_sim Zeus_store Zeus_workload

@@ -1,0 +1,1 @@
+lib/experiments/apps_figs.ml: Exp List Printf Zeus_apps

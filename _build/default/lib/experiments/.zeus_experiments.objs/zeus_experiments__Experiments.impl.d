@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Ablations Apps_figs Fig7 Fig8 Fig9 List Locality Printf Table2 Tpcc_fig Verify Voter_figs

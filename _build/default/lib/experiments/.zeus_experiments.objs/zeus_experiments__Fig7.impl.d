@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Bytes Exp List Printf Zeus_core Zeus_sim Zeus_store Zeus_workload

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Bytes Exp Float List Printf Zeus_baseline Zeus_core Zeus_sim Zeus_store Zeus_workload

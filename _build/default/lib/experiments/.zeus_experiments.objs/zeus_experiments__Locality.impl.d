@@ -1,0 +1,1 @@
+lib/experiments/locality.ml: Exp List Printf Zeus_sim Zeus_workload

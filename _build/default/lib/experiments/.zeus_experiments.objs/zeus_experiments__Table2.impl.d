@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: List Printf Zeus_workload

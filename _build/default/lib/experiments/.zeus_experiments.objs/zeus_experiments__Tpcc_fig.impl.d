@@ -1,0 +1,1 @@
+lib/experiments/tpcc_fig.ml: Exp Printf Zeus_baseline Zeus_core Zeus_sim Zeus_store Zeus_workload

@@ -1,0 +1,1 @@
+lib/experiments/verify.ml: Exp Printf Zeus_model

@@ -1,0 +1,1 @@
+lib/experiments/voter_figs.ml: Array Bytes Exp Hashtbl List Printf Zeus_core Zeus_ownership Zeus_sim Zeus_store Zeus_workload

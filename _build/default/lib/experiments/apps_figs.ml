@@ -1,0 +1,114 @@
+(** Figures 13-15: the legacy-application ports (§8.5). *)
+
+module Gateway = Zeus_apps.Gateway
+module Sctp = Zeus_apps.Sctp
+module Nginx = Zeus_apps.Nginx
+
+let fig13 ~quick =
+  let config =
+    if quick then { Gateway.default_config with Gateway.duration_us = 50_000.0 }
+    else Gateway.default_config
+  in
+  let point mode label =
+    let r = Gateway.run ~config mode in
+    (label, r.Gateway.ktps)
+  in
+  let rows =
+    [
+      point `No_store "local memory, no replication";
+      point (`Remote_store 120.0) "remote store (Redis-like), blocking";
+      point (`Zeus 1) "Zeus, 1 active + 1 passive replica";
+      point (`Zeus 2) "Zeus, 2 active (each other's replica)";
+    ]
+  in
+  Exp.print_figure
+    {
+      Exp.id = "fig13";
+      title = "Cellular packet gateway control plane";
+      x_axis = "configuration";
+      y_axis = "Ktps";
+      series =
+        List.mapi
+          (fun i (label, y) -> { Exp.label; points = [ (float_of_int i, y) ] })
+          rows;
+      paper =
+        [
+          "Redis below 10 Ktps (thread blocks on every request)";
+          "Zeus single active node matches local-memory (bottleneck is parsing)";
+          "two active nodes: +60% (limited by the signal generator)";
+        ];
+      notes = [ "open-loop generator capped as in the paper's testbed" ];
+    }
+
+let fig14 ~quick =
+  let config =
+    if quick then { Sctp.default_config with Sctp.duration_us = 20_000.0 }
+    else Sctp.default_config
+  in
+  let sizes = if quick then [ 256; 4096; 16384 ] else [ 64; 256; 1024; 4096; 8192; 16384 ] in
+  let series mode label =
+    {
+      Exp.label;
+      points =
+        List.map
+          (fun size ->
+            let r = Sctp.run ~config ~mode size in
+            (float_of_int size, r.Sctp.mbps))
+          sizes;
+    }
+  in
+  let vanilla = series `Vanilla "vanilla SCTP (no replication)" in
+  let zeus = series `Zeus "SCTP on Zeus (state replicated)" in
+  Exp.print_figure
+    {
+      Exp.id = "fig14";
+      title = "SCTP single-flow throughput vs packet size";
+      x_axis = "packet size (B)";
+      y_axis = "Mbps";
+      series = [ vanilla; zeus ];
+      paper =
+        [
+          "Zeus ~40% slower at large packets (6.8 KB state per packet)";
+          "relative gap larger at small packets (replication overhead dominates)";
+        ];
+      notes =
+        (match (List.rev vanilla.Exp.points, List.rev zeus.Exp.points) with
+        | (_, v) :: _, (_, z) :: _ ->
+          [ Printf.sprintf "measured gap at largest packet: %.0f%%" (100.0 *. (1.0 -. (z /. v))) ]
+        | _ -> []);
+    }
+
+let fig15 ~quick =
+  let config =
+    if quick then { Nginx.default_config with Nginx.phase_us = 30_000.0 }
+    else Nginx.default_config
+  in
+  let zeus = Nginx.run ~config ~with_zeus:true () in
+  let plain = Nginx.run ~config ~with_zeus:false () in
+  Exp.print_figure
+    {
+      Exp.id = "fig15";
+      title = "Nginx session persistence: scale-out / scale-in";
+      x_axis = "time (ms)";
+      y_axis = "Krps";
+      series =
+        [
+          { Exp.label = "Nginx on Zeus"; points = zeus.Nginx.timeline };
+          { Exp.label = "Nginx without datastore"; points = plain.Nginx.timeline };
+        ];
+      paper =
+        [
+          "throughput with Zeus equals the no-datastore variant";
+          "seamless scale-out at 1/3 and scale-in at 2/3 of the run";
+        ];
+      notes =
+        [
+          Printf.sprintf "overall: %.1f Krps with Zeus vs %.1f Krps without"
+            zeus.Nginx.total_krps plain.Nginx.total_krps;
+        ];
+    }
+
+let run ~quick =
+  fig13 ~quick;
+  fig14 ~quick;
+  fig15 ~quick

@@ -1,0 +1,45 @@
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  id : string;
+  title : string;
+  x_axis : string;
+  y_axis : string;
+  series : series list;
+  paper : string list;
+  notes : string list;
+}
+
+let hrule width = String.make width '-'
+
+let print_figure f =
+  Printf.printf "\n== %s: %s ==\n" f.id f.title;
+  List.iter
+    (fun s ->
+      Printf.printf "  %s  [%s -> %s]\n" s.label f.x_axis f.y_axis;
+      List.iter (fun (x, y) -> Printf.printf "    %10.3f  %10.3f\n" x y) s.points)
+    f.series;
+  if f.paper <> [] then begin
+    Printf.printf "  paper reports:\n";
+    List.iter (fun p -> Printf.printf "    - %s\n" p) f.paper
+  end;
+  List.iter (fun n -> Printf.printf "  note: %s\n" n) f.notes;
+  Printf.printf "  %s\n%!" (hrule 60)
+
+let print_kv title kvs =
+  Printf.printf "\n== %s ==\n" title;
+  List.iter (fun (k, v) -> Printf.printf "  %-42s %s\n" k v) kvs;
+  Printf.printf "%!"
+
+let scale_note ~quick =
+  if quick then "quick mode: tiny population, short runs (smoke only)"
+  else
+    "scaled deployment: populations ~1/50 of the paper's, virtual-time runs \
+     of tens of ms instead of seconds; shapes and ratios are comparable, \
+     absolute counts are not"
+
+type scale = { duration_us : float; warmup_us : float; objects_per_node : int }
+
+let scale_of ~quick =
+  if quick then { duration_us = 3_000.0; warmup_us = 500.0; objects_per_node = 2_000 }
+  else { duration_us = 15_000.0; warmup_us = 2_000.0; objects_per_node = 10_000 }

@@ -1,0 +1,32 @@
+(** Experiment plumbing: result tables and printers shared by every
+    figure/table reproduction, plus the paper-reported values we compare
+    against (EXPERIMENTS.md records the outcomes). *)
+
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  id : string;            (** e.g. "fig8" *)
+  title : string;
+  x_axis : string;
+  y_axis : string;
+  series : series list;
+  paper : string list;    (** what the paper reports, for eyeballing shape *)
+  notes : string list;
+}
+
+val print_figure : figure -> unit
+(** Render as an aligned text table on stdout. *)
+
+val print_kv : string -> (string * string) list -> unit
+
+val scale_note : quick:bool -> string
+
+(** Deployment scaled down from the paper's testbed; [quick] shrinks it
+    further for smoke runs. *)
+type scale = {
+  duration_us : float;
+  warmup_us : float;
+  objects_per_node : int;
+}
+
+val scale_of : quick:bool -> scale

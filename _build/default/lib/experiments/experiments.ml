@@ -1,0 +1,31 @@
+(** Registry of every reproduced table/figure and ablation (DESIGN.md §3). *)
+
+let all : (string * string * (quick:bool -> unit)) list =
+  [
+    ("table2", "Table 2: benchmark summary", Table2.run);
+    ("verify", "exhaustive model checking of both protocols", Verify.run);
+    ("locality", "remote-transaction fractions (Boston, Venmo, TPC-C)", Locality.run);
+    ("fig7", "Handovers: ideal vs Zeus, 2.5%/5%", Fig7.run);
+    ("fig8", "Smallbank vs remote write transactions", Fig8.run);
+    ("fig9", "TATP vs remote write transactions", Fig9.run);
+    ("fig10-12", "Voter migrations + ownership latency CDF", Voter_figs.run);
+    ("fig13-15", "legacy applications: gateway, SCTP, Nginx", Apps_figs.run);
+    ("tpcc", "executed TPC-C (extension beyond the paper)", Tpcc_fig.run);
+    ("ablations", "pipeline depth, replication degree, read-only, object size", Ablations.run);
+  ]
+
+let names () = List.map (fun (id, _, _) -> id) all
+
+let run_one ~quick id =
+  match List.find_opt (fun (i, _, _) -> i = id) all with
+  | Some (_, _, f) ->
+    f ~quick;
+    true
+  | None -> false
+
+let run_all ~quick =
+  List.iter
+    (fun (_, _, f) ->
+      f ~quick;
+      Printf.printf "%!")
+    all

@@ -1,0 +1,103 @@
+(** Figure 7: cellular handovers — all-local ideal vs Zeus with 2.5 % and
+    5 % handovers, on 3 and 6 nodes. *)
+
+module Engine = Zeus_sim.Engine
+module Cluster = Zeus_core.Cluster
+module Config = Zeus_core.Config
+module Node = Zeus_core.Node
+module W = Zeus_workload
+
+(* A handover is two transactions; [stash] holds the second one so each
+   driver slot still runs exactly one transaction. *)
+let issue_fn w stash node ~thread done_ =
+  let home = Node.id node in
+  let spec =
+    match stash.(home).(thread) with
+    | Some s ->
+      stash.(home).(thread) <- None;
+      s
+    | None ->
+      let s1, s2 = W.Handover.gen w ~home ~thread ~threads:(Array.length stash.(home)) in
+      stash.(home).(thread) <- s2;
+      s1
+  in
+  W.Spec.run_on_zeus node ~thread spec (fun outcome ->
+      done_ (outcome = Zeus_store.Txn.Committed))
+
+let one_point ~quick ~nodes ~handover_frac ~remote_handover_frac =
+  let s = Exp.scale_of ~quick in
+  let config = { Config.default with Config.nodes } in
+  let cluster = Cluster.create ~config () in
+  let rng = Engine.fork_rng (Cluster.engine cluster) in
+  let users_per_node = s.Exp.objects_per_node in
+  let stations_per_node = max 20 (users_per_node / 200) in
+  let w =
+    W.Handover.create ~users_per_node ~stations_per_node ~nodes ~handover_frac
+      ~remote_handover_frac rng
+  in
+  Cluster.populate_n cluster ~n:(W.Handover.total_keys w)
+    ~owner_of:(fun k -> W.Handover.home_of_key w k)
+    (fun k ->
+      Bytes.copy
+        (if W.Handover.is_user_key w k then W.Handover.user_context
+         else W.Handover.station_context));
+  let threads = config.Config.app_threads in
+  let stash = Array.make_matrix nodes threads None in
+  let r =
+    W.Driver.run cluster ~warmup_us:s.Exp.warmup_us ~duration_us:s.Exp.duration_us
+      ~issue:(fun node ~thread ~seq:_ done_ -> issue_fn w stash node ~thread done_)
+      ()
+  in
+  r.W.Driver.mtps
+
+let run ~quick =
+  let rng = Zeus_sim.Rng.create 7L in
+  let series =
+    List.concat_map
+      (fun nodes ->
+        let remote = W.Mobility.remote_handover_fraction ~trips:5_000 ~nodes rng in
+        [
+          {
+            Exp.label = Printf.sprintf "all-local ideal (%d nodes)" nodes;
+            points =
+              [
+                ( float_of_int nodes,
+                  one_point ~quick ~nodes ~handover_frac:0.025 ~remote_handover_frac:0.0
+                );
+              ];
+          };
+          {
+            Exp.label = Printf.sprintf "Zeus 2.5%% handovers (%d nodes)" nodes;
+            points =
+              [
+                ( float_of_int nodes,
+                  one_point ~quick ~nodes ~handover_frac:0.025
+                    ~remote_handover_frac:remote );
+              ];
+          };
+          {
+            Exp.label = Printf.sprintf "Zeus 5%% handovers (%d nodes)" nodes;
+            points =
+              [
+                ( float_of_int nodes,
+                  one_point ~quick ~nodes ~handover_frac:0.05
+                    ~remote_handover_frac:remote );
+              ];
+          };
+        ])
+      [ 3; 6 ]
+  in
+  Exp.print_figure
+    {
+      Exp.id = "fig7";
+      title = "Handovers: all-local ideal vs Zeus, 2.5%/5% handovers";
+      x_axis = "nodes";
+      y_axis = "Mtps";
+      series;
+      paper =
+        [
+          "Zeus within 4-9% of the all-local ideal";
+          "throughput scales linearly with node count";
+        ];
+      notes = [ Exp.scale_note ~quick ];
+    }

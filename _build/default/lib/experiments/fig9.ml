@@ -1,0 +1,109 @@
+(** Figure 9: TATP throughput while varying remote write transactions, vs
+    FaSST- and FaRM-like baselines. *)
+
+module Engine = Zeus_sim.Engine
+module Cluster = Zeus_core.Cluster
+module Config = Zeus_core.Config
+module Node = Zeus_core.Node
+module W = Zeus_workload
+module B = Zeus_baseline
+
+let zeus_point ~quick ~nodes ~remote_frac =
+  let s = Exp.scale_of ~quick in
+  let config = { Config.default with Config.nodes } in
+  let cluster = Cluster.create ~config () in
+  let rng = Engine.fork_rng (Cluster.engine cluster) in
+  let w =
+    W.Tatp.create ~subscribers_per_node:s.Exp.objects_per_node ~nodes ~remote_frac rng
+  in
+  Cluster.populate_n cluster ~n:(W.Tatp.total_keys w)
+    ~owner_of:(fun k -> W.Tatp.home_of_key w k)
+    (fun _ -> Bytes.copy W.Tatp.initial_value);
+  let r =
+    W.Driver.run cluster ~warmup_us:s.Exp.warmup_us ~duration_us:s.Exp.duration_us
+      ~issue:(fun node ~thread ~seq:_ done_ ->
+        W.Spec.run_on_zeus node ~thread
+          (W.Tatp.gen w ~home:(Node.id node))
+          (fun outcome -> done_ (outcome = Zeus_store.Txn.Committed)))
+      ()
+  in
+  let owntxn = ref 0 in
+  for i = 0 to nodes - 1 do
+    owntxn := !owntxn + Node.txns_with_ownership (Cluster.node cluster i)
+  done;
+  (* 20 % of the TATP mix are writes. *)
+  let writes = 0.2 *. float_of_int r.W.Driver.committed in
+  (100.0 *. float_of_int !owntxn /. Float.max 1.0 writes, r.W.Driver.mtps, r)
+
+let baseline_point ~quick ~nodes profile =
+  let s = Exp.scale_of ~quick in
+  let config = { Config.default with Config.nodes } in
+  let rng = Zeus_sim.Rng.create 11L in
+  let w =
+    W.Tatp.create ~subscribers_per_node:s.Exp.objects_per_node ~nodes
+      ~remote_frac:(1.0 -. (1.0 /. float_of_int nodes))
+      ~local_reads:false rng
+  in
+  let eng =
+    B.Engine.create ~profile ~config ~primary_of:(fun k -> W.Tatp.home_of_key w k) ()
+  in
+  let r =
+    B.Engine.run_load eng ~warmup_us:s.Exp.warmup_us ~duration_us:s.Exp.duration_us
+      ~gen:(fun ~home -> W.Tatp.gen w ~home)
+      ()
+  in
+  r.W.Driver.mtps
+
+let run ~quick =
+  let fracs =
+    if quick then [ 0.0; 0.1; 0.3 ] else [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.5; 0.7 ]
+  in
+  let latency_notes = ref [] in
+  let zeus nodes =
+    {
+      Exp.label = Printf.sprintf "Zeus (%d nodes)" nodes;
+      points =
+        List.map
+          (fun f ->
+            let x, y, r = zeus_point ~quick ~nodes ~remote_frac:f in
+            if f = 0.0 then
+              latency_notes :=
+                Printf.sprintf
+                  "Zeus txn latency at 0%% remote (%d nodes): p50 %.1fus, p99 %.1fus"
+                  nodes r.W.Driver.lat_p50_us r.W.Driver.lat_p99_us
+                :: !latency_notes;
+            (x, y))
+          fracs;
+    }
+  in
+  let flat nodes profile =
+    let y = baseline_point ~quick ~nodes profile in
+    {
+      Exp.label = Printf.sprintf "%s (%d nodes, static sharding)" profile.B.Profile.name nodes;
+      points = [ (0.0, y); (60.0, y) ];
+    }
+  in
+  let series =
+    [
+      zeus 3;
+      zeus 6;
+      flat 3 B.Profile.fasst;
+      flat 6 B.Profile.fasst;
+      flat 3 B.Profile.farm;
+      flat 6 B.Profile.farm;
+    ]
+  in
+  Exp.print_figure
+    {
+      Exp.id = "fig9";
+      title = "TATP while varying remote write transactions";
+      x_axis = "% write txns needing ownership change";
+      y_axis = "Mtps";
+      series;
+      paper =
+        [
+          "Zeus up to 2x FaSST and 3.5x FaRM at low remote fractions";
+          "break-even vs FaSST below ~20%, vs FaRM below ~40% of write txns";
+        ];
+      notes = Exp.scale_note ~quick :: List.rev !latency_notes;
+    }

@@ -1,0 +1,1 @@
+lib/lb/balancer.ml: Hermes List Zeus_net Zeus_sim Zeus_store

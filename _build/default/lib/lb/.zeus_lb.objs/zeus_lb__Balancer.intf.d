@@ -1,0 +1,1 @@
+lib/lb/balancer.mli: Hermes Zeus_net

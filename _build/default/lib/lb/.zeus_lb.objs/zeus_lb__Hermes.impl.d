@@ -1,0 +1,1 @@
+lib/lb/hermes.ml: Hashtbl List Ots Types Value Zeus_net Zeus_sim Zeus_store

@@ -1,0 +1,1 @@
+lib/lb/hermes.mli: Types Value Zeus_net Zeus_store

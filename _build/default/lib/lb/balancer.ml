@@ -1,0 +1,40 @@
+module Rng = Zeus_sim.Rng
+module Value = Zeus_store.Value
+
+type t = {
+  hermes : Hermes.t;
+  rng : Rng.t;
+  mutable backends : Zeus_net.Msg.node_id list;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~node ~lb_nodes ~backends transport =
+  {
+    hermes = Hermes.create ~node ~replicas:lb_nodes transport;
+    rng =
+      Zeus_sim.Engine.fork_rng
+        (Zeus_net.Fabric.engine (Zeus_net.Transport.fabric transport));
+    backends;
+    hits = 0;
+    misses = 0;
+  }
+
+let hermes t = t.hermes
+let hits t = t.hits
+let misses t = t.misses
+let set_backends t backends = t.backends <- backends
+
+let route t ~key k =
+  Hermes.read_wait t.hermes key (fun v ->
+      match v with
+      | Some dst ->
+        t.hits <- t.hits + 1;
+        k (Value.to_int dst)
+      | None ->
+        t.misses <- t.misses + 1;
+        let dst = List.nth t.backends (Rng.int t.rng (List.length t.backends)) in
+        Hermes.write t.hermes ~key (Value.of_int dst) (fun () -> k dst))
+
+let reassign t ~key dst k = Hermes.write t.hermes ~key (Value.of_int dst) k
+let handle t ~src payload = Hermes.handle t.hermes ~src payload

@@ -1,0 +1,1 @@
+lib/membership/service.ml: Array List View Zeus_net Zeus_sim

@@ -1,0 +1,1 @@
+lib/membership/service.mli: View Zeus_net

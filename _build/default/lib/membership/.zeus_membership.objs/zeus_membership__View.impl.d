@@ -1,0 +1,1 @@
+lib/membership/view.ml: Array Format

@@ -1,0 +1,1 @@
+lib/membership/view.mli: Format Zeus_net

@@ -1,0 +1,68 @@
+module Engine = Zeus_sim.Engine
+module Rng = Zeus_sim.Rng
+
+type t = {
+  transport : Zeus_net.Transport.t;
+  lease_us : float;
+  detect_us : float;
+  skew_us : float;
+  rng : Rng.t;
+  mutable view : View.t;
+  node_views : View.t array;
+  subscribers : (View.t -> unit) list array;
+}
+
+let create ?(lease_us = 2_000.0) ?(detect_us = 1_000.0) ?(skew_us = 5.0) transport =
+  let fabric = Zeus_net.Transport.fabric transport in
+  let nodes = Zeus_net.Fabric.nodes fabric in
+  let view = View.initial ~nodes in
+  {
+    transport;
+    lease_us;
+    detect_us;
+    skew_us;
+    rng = Engine.fork_rng (Zeus_net.Fabric.engine fabric);
+    view;
+    node_views = Array.make nodes view;
+    subscribers = Array.make nodes [];
+  }
+
+let view t = t.view
+let node_view t n = t.node_views.(n)
+let epoch_at t n = t.node_views.(n).View.epoch
+let subscribe t n fn = t.subscribers.(n) <- t.subscribers.(n) @ [ fn ]
+
+let engine t = Zeus_net.Fabric.engine (Zeus_net.Transport.fabric t.transport)
+
+let install t next =
+  t.view <- next;
+  Array.iteri
+    (fun node _ ->
+      if View.is_live next node then begin
+        let skew = Rng.float t.rng t.skew_us in
+        ignore
+          (Engine.schedule (engine t) ~after:skew (fun () ->
+               (* A node may have crashed between scheduling and delivery. *)
+               if
+                 Zeus_net.Fabric.is_alive (Zeus_net.Transport.fabric t.transport) node
+                 && next.View.epoch > t.node_views.(node).View.epoch
+               then begin
+                 t.node_views.(node) <- next;
+                 List.iter (fun fn -> fn next) t.subscribers.(node)
+               end))
+      end)
+    t.node_views
+
+let kill t node =
+  Zeus_net.Transport.crash t.transport node;
+  ignore
+    (Engine.schedule (engine t) ~after:(t.detect_us +. t.lease_us) (fun () ->
+         (* Derive from the view current at expiry so concurrent kills and
+            rejoins compose into a single monotone epoch sequence. *)
+         if View.is_live t.view node then install t (View.without t.view node)))
+
+let rejoin t node =
+  Zeus_net.Transport.recover t.transport node;
+  ignore
+    (Engine.schedule (engine t) ~after:t.detect_us (fun () ->
+         if not (View.is_live t.view node) then install t (View.with_node t.view node)))

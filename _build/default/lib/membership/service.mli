@@ -1,0 +1,34 @@
+(** Lease-based reliable membership (§3.1).
+
+    The paper relies on a ZooKeeper-with-leases scheme: failures are
+    detected unreliably, but a membership update is installed across the
+    deployment only after every node lease has expired, so all live nodes
+    observe the same sequence of views (epochs).  We model that external
+    service directly: [kill] crashes a node at the fabric level, and after
+    [detect_us + lease_us] of virtual time the next view (epoch + 1) is
+    delivered to every live node, with a small per-node skew so that
+    epoch-mismatch handling in the protocols is actually exercised. *)
+
+type t
+
+val create :
+  ?lease_us:float -> ?detect_us:float -> ?skew_us:float -> Zeus_net.Transport.t -> t
+
+val view : t -> View.t
+(** The service's latest installed view. *)
+
+val node_view : t -> Zeus_net.Msg.node_id -> View.t
+(** The view currently held by a given node (it may lag the service's during
+    the skew window). *)
+
+val epoch_at : t -> Zeus_net.Msg.node_id -> int
+
+val subscribe : t -> Zeus_net.Msg.node_id -> (View.t -> unit) -> unit
+(** Called (in subscription order) each time the node installs a new view. *)
+
+val kill : t -> Zeus_net.Msg.node_id -> unit
+(** Crash the node now; a view excluding it is installed after
+    detection + lease expiry. *)
+
+val rejoin : t -> Zeus_net.Msg.node_id -> unit
+(** Revive a crashed node and install a view including it. *)

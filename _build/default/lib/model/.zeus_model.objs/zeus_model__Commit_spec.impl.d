@@ -1,0 +1,1 @@
+lib/model/commit_spec.ml: Explorer Format List String

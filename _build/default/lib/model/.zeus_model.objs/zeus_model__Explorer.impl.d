@@ -1,0 +1,1 @@
+lib/model/explorer.ml: Hashtbl List Marshal Queue

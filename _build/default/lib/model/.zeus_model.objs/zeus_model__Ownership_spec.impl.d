@@ -1,0 +1,1 @@
+lib/model/ownership_spec.ml: Explorer Format List Option Printf String

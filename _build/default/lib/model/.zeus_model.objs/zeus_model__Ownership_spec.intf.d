@@ -1,0 +1,1 @@
+lib/model/ownership_spec.mli: Explorer Format

@@ -1,0 +1,518 @@
+(* See the interface for the model's scope. *)
+
+type config = {
+  txns : [ `X | `Y | `XY ] list;
+  crash : bool;
+  dup_budget : int;
+}
+
+let default_config = { txns = [ `Y; `XY; `X ]; crash = true; dup_budget = 0 }
+
+type objid = X | Y
+
+let readers = function X -> [ 1; 2 ] | Y -> [ 1 ]
+let coord = 0
+
+type write = { w_obj : objid; w_ver : int }
+
+type msg =
+  | Rinv of {
+      slot : int;
+      writes : write list;
+      followers : int list;
+      prev_val : bool;
+      replay : bool;
+      epoch : int;
+      dst : int;
+    }
+  | Rack of { slot : int; sender : int; epoch : int; dst : int }
+  | Rval of { slot : int; epoch : int; dst : int }
+
+type slot_state = {
+  s_writes : write list;
+  s_followers : int list;
+  s_missing : int list;
+  s_extra_vals : int list;
+}
+
+type stored = { st_slot : int; st_writes : write list; st_followers : int list }
+
+type replaying = { rp_slot : int; rp_missing : int list }
+
+type fstate = {
+  ver : int * int;          (* versions of X, Y (0 = never seen) *)
+  valid : bool * bool;      (* t_state of X, Y *)
+  has : bool * bool;        (* replica of X / Y at all *)
+  cleared : int;            (* cleared_upto of the coordinator's pipeline *)
+  stored_invs : stored list;   (* sorted by slot *)
+  buffered : stored list;      (* received out of order *)
+  replay : replaying option;
+}
+
+type state = {
+  (* coordinator *)
+  c_ver : int * int;
+  c_valid : bool * bool;
+  c_slots : (int * slot_state) list;  (* in-flight, sorted by slot *)
+  c_next : int;
+  (* followers, index 0 -> node 1, index 1 -> node 2 *)
+  f1 : fstate;
+  f2 : fstate;
+  net : msg list;
+  crashed : bool;            (* only the coordinator can crash *)
+  epoch : int;
+  epoch_pending : bool;
+  dups_left : int;
+  error : string option;     (* internal assertion raised by a transition *)
+}
+
+(* ---------- helpers ------------------------------------------------------- *)
+
+let get_obj (x, y) = function X -> x | Y -> y
+let set_obj (x, y) o v = match o with X -> (v, y) | Y -> (x, v)
+
+let init config =
+  ignore config;
+  {
+    c_ver = (0, 0);
+    c_valid = (true, true);
+    c_slots = [];
+    c_next = 0;
+    f1 =
+      {
+        ver = (0, 0);
+        valid = (true, true);
+        has = (true, true);
+        cleared = -1;
+        stored_invs = [];
+        buffered = [];
+        replay = None;
+      };
+    f2 =
+      {
+        ver = (0, 0);
+        valid = (true, true);
+        has = (true, false);
+        cleared = -1;
+        stored_invs = [];
+        buffered = [];
+        replay = None;
+      };
+    net = [];
+    crashed = false;
+    epoch = 0;
+    epoch_pending = false;
+    dups_left = config.dup_budget;
+    error = None;
+  }
+
+let follower state i = if i = 1 then state.f1 else state.f2
+let set_follower state i f = if i = 1 then { state with f1 = f } else { state with f2 = f }
+let sort_msgs l = List.sort compare l
+let send state msgs = { state with net = sort_msgs (msgs @ state.net) }
+
+let remove_one x l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | y :: rest when y = x -> List.rev_append acc rest
+    | y :: rest -> go (y :: acc) rest
+  in
+  go [] l
+
+let fail state msg = { state with error = Some msg }
+
+(* ---------- coordinator --------------------------------------------------- *)
+
+let objs_of = function `X -> [ X ] | `Y -> [ Y ] | `XY -> [ X; Y ]
+
+(* Local commit of the next scheduled transaction: bump versions, open the
+   pipeline slot, broadcast R-INVs with per-follower prev-VAL bits. *)
+let local_commit config state =
+  match List.nth_opt config.txns state.c_next with
+  | None -> None
+  | Some txn ->
+    let slot = state.c_next in
+    let objs = objs_of txn in
+    let c_ver =
+      List.fold_left (fun v o -> set_obj v o (get_obj v o + 1)) state.c_ver objs
+    in
+    let writes = List.map (fun o -> { w_obj = o; w_ver = get_obj c_ver o }) objs in
+    let c_valid = List.fold_left (fun v o -> set_obj v o false) state.c_valid objs in
+    let followers = List.sort_uniq compare (List.concat_map readers objs) in
+    let state = { state with c_ver; c_valid; c_next = slot + 1 } in
+    (* prev-VAL handling (§5.2) *)
+    let prev = List.assoc_opt (slot - 1) state.c_slots in
+    let prev_val_for, state =
+      match prev with
+      | None -> ((fun _ -> true), state)
+      | Some ps ->
+        let extra =
+          List.filter
+            (fun f ->
+              not (List.mem f ps.s_followers || List.mem f ps.s_extra_vals))
+            followers
+        in
+        ( (fun _ -> false),
+          {
+            state with
+            c_slots =
+              List.map
+                (fun (s, sl) ->
+                  if s = slot - 1 then
+                    (s, { sl with s_extra_vals = sl.s_extra_vals @ extra })
+                  else (s, sl))
+                state.c_slots;
+          } )
+    in
+    let slot_state =
+      { s_writes = writes; s_followers = followers; s_missing = followers; s_extra_vals = [] }
+    in
+    let state =
+      { state with c_slots = List.sort compare ((slot, slot_state) :: state.c_slots) }
+    in
+    let invs =
+      List.map
+        (fun f ->
+          Rinv
+            {
+              slot;
+              writes;
+              followers;
+              prev_val = prev_val_for f;
+              replay = false;
+              epoch = state.epoch;
+              dst = f;
+            })
+        followers
+    in
+    Some (send state invs)
+
+let coordinator_validate state slot (sl : slot_state) =
+  (* all acks in: validate locally iff version unchanged, broadcast R-VALs *)
+  let c_valid =
+    List.fold_left
+      (fun v (w : write) ->
+        if get_obj state.c_ver w.w_obj = w.w_ver then set_obj v w.w_obj true else v)
+      state.c_valid sl.s_writes
+  in
+  let state =
+    { state with c_valid; c_slots = List.remove_assoc slot state.c_slots }
+  in
+  send state
+    (List.map
+       (fun f -> Rval { slot; epoch = state.epoch; dst = f })
+       (List.sort_uniq compare (sl.s_followers @ sl.s_extra_vals)))
+
+(* ---------- follower ------------------------------------------------------- *)
+
+let apply_writes f writes =
+  List.fold_left
+    (fun f (w : write) ->
+      if get_obj f.has w.w_obj && w.w_ver > get_obj f.ver w.w_obj then
+        { f with ver = set_obj f.ver w.w_obj w.w_ver; valid = set_obj f.valid w.w_obj false }
+      else f)
+    f writes
+
+let rec drain_buffered state me =
+  let f = follower state me in
+  match List.find_opt (fun b -> b.st_slot = f.cleared + 1) f.buffered with
+  | Some b ->
+    let state =
+      set_follower state me
+        { f with buffered = List.filter (fun x -> x <> b) f.buffered }
+    in
+    let state = apply_slot state me ~slot:b.st_slot ~writes:b.st_writes ~followers:b.st_followers in
+    drain_buffered state me
+
+  | None -> state
+
+and apply_slot state me ~slot ~writes ~followers =
+  let f = follower state me in
+  if slot > f.cleared + 1 then fail state "applied a slot out of pipeline order"
+  else begin
+    let f = apply_writes f writes in
+    let f =
+      {
+        f with
+        cleared = max f.cleared slot;
+        stored_invs =
+          List.sort compare ({ st_slot = slot; st_writes = writes; st_followers = followers } :: f.stored_invs);
+      }
+    in
+    let state = set_follower state me f in
+    send state [ Rack { slot; sender = me; epoch = state.epoch; dst = coord } ]
+  end
+
+let handle_inv state me ~slot ~writes ~followers ~prev_val ~replay =
+  let f = follower state me in
+  if List.exists (fun s -> s.st_slot = slot) f.stored_invs || slot <= f.cleared then
+    (* duplicate: re-ACK to whoever would be waiting *)
+    send state
+      [ Rack { slot; sender = me; epoch = state.epoch; dst = (if replay then 3 - me else coord) } ]
+  else begin
+    let f = if prev_val && slot - 1 > f.cleared then { f with cleared = slot - 1 } else f in
+    let state = set_follower state me f in
+    if replay then begin
+      (* recovery replays bypass pipeline order (version checks protect) *)
+      let f = follower state me in
+      let f = apply_writes f writes in
+      let f =
+        {
+          f with
+          cleared = max f.cleared slot;
+          stored_invs =
+            List.sort compare
+              ({ st_slot = slot; st_writes = writes; st_followers = followers } :: f.stored_invs);
+        }
+      in
+      let state = set_follower state me f in
+      send state [ Rack { slot; sender = me; epoch = state.epoch; dst = 3 - me } ]
+    end
+    else if f.cleared >= slot - 1 then
+      drain_buffered (apply_slot state me ~slot ~writes ~followers) me
+    else
+      set_follower state me
+        {
+          f with
+          buffered =
+            List.sort compare
+              ({ st_slot = slot; st_writes = writes; st_followers = followers } :: f.buffered);
+        }
+  end
+
+let validate_stored state me slot =
+  let f = follower state me in
+  match List.find_opt (fun s -> s.st_slot = slot) f.stored_invs with
+  | None ->
+    let f = { f with cleared = max f.cleared slot } in
+    drain_buffered (set_follower state me f) me
+  | Some st ->
+    let f =
+      List.fold_left
+        (fun f (w : write) ->
+          if get_obj f.has w.w_obj && get_obj f.ver w.w_obj = w.w_ver then
+            { f with valid = set_obj f.valid w.w_obj true }
+          else f)
+        f st.st_writes
+    in
+    let f =
+      {
+        f with
+        stored_invs = List.filter (fun s -> s.st_slot <> slot) f.stored_invs;
+        cleared = max f.cleared slot;
+      }
+    in
+    drain_buffered (set_follower state me f) me
+
+(* ---------- replay after coordinator crash (§5.1) ------------------------- *)
+
+let start_replay state me slot =
+  let f = follower state me in
+  match List.find_opt (fun s -> s.st_slot = slot) f.stored_invs with
+  | None -> state
+  | Some st ->
+    let others = List.filter (fun x -> x <> me) st.st_followers in
+    if others = [] then validate_stored state me slot
+    else begin
+      let state =
+        set_follower state me { f with replay = Some { rp_slot = slot; rp_missing = others } }
+      in
+      send state
+        (List.map
+           (fun o ->
+             Rinv
+               {
+                 slot;
+                 writes = st.st_writes;
+                 followers = st.st_followers;
+                 prev_val = false;
+                 replay = true;
+                 epoch = state.epoch;
+                 dst = o;
+               })
+           others)
+    end
+
+let finish_replay state me slot =
+  let f = follower state me in
+  let others =
+    match List.find_opt (fun s -> s.st_slot = slot) f.stored_invs with
+    | Some st -> List.filter (fun x -> x <> me) st.st_followers
+    | None -> []
+  in
+  let state = set_follower state me { f with replay = None } in
+  let state = validate_stored state me slot in
+  send state (List.map (fun o -> Rval { slot; epoch = state.epoch; dst = o }) others)
+
+(* ---------- delivery ------------------------------------------------------- *)
+
+let deliver state msg =
+  match msg with
+  | Rinv { dst; slot; writes; followers; prev_val; replay; epoch } ->
+    if dst = coord then state (* coordinator never receives R-INVs *)
+    else if epoch <> state.epoch then state
+    else handle_inv state dst ~slot ~writes ~followers ~prev_val ~replay
+  | Rack { slot; sender; epoch; dst } ->
+    ignore epoch;
+    if dst = coord then begin
+      if state.crashed then state
+      else begin
+        match List.assoc_opt slot state.c_slots with
+        | None -> state
+        | Some sl ->
+          let missing = List.filter (fun f -> f <> sender) sl.s_missing in
+          if missing = [] then coordinator_validate state slot sl
+          else
+            {
+              state with
+              c_slots =
+                List.map
+                  (fun (s, x) -> if s = slot then (s, { x with s_missing = missing }) else (s, x))
+                  state.c_slots;
+            }
+      end
+    end
+    else begin
+      (* replay-driver ack *)
+      let f = follower state dst in
+      match f.replay with
+      | Some rp when rp.rp_slot = slot ->
+        let missing = List.filter (fun x -> x <> sender) rp.rp_missing in
+        if missing = [] then finish_replay state dst slot
+        else
+          set_follower state dst
+            { f with replay = Some { rp with rp_missing = missing } }
+      | _ -> state
+    end
+  | Rval { slot; epoch; dst } ->
+    if dst = coord then state
+    else if epoch <> state.epoch then state
+    else validate_stored state dst slot
+
+(* ---------- transitions ---------------------------------------------------- *)
+
+let epoch_tick state = { state with epoch = state.epoch + 1; epoch_pending = false }
+
+let next config state =
+  if state.error <> None then []
+  else begin
+    let deliveries =
+      List.concat_map
+        (fun msg ->
+          let consumed = deliver { state with net = remove_one msg state.net } msg in
+          let dup =
+            if state.dups_left > 0 then
+              [ deliver { state with dups_left = state.dups_left - 1 } msg ]
+            else []
+          in
+          consumed :: dup)
+        (List.sort_uniq compare state.net)
+    in
+    let commits =
+      if state.crashed then []
+      else match local_commit config state with Some s -> [ s ] | None -> []
+    in
+    let crashes =
+      if config.crash && not state.crashed && state.c_next > 0 then
+        (* crashing drops the coordinator's volatile state and all messages
+           addressed to it *)
+        [
+          {
+            state with
+            crashed = true;
+            epoch_pending = true;
+            c_slots = [];
+            net = List.filter (function Rack { dst; _ } -> dst <> coord | _ -> true) state.net;
+          };
+        ]
+      else []
+    in
+    let ticks = if state.epoch_pending then [ epoch_tick state ] else [] in
+    let replays =
+      if state.crashed && not state.epoch_pending then
+        List.concat_map
+          (fun me ->
+            let f = follower state me in
+            if f.replay <> None then []
+            else
+              List.map (fun st -> start_replay state me st.st_slot) f.stored_invs)
+          [ 1; 2 ]
+      else []
+    in
+    List.map
+      (fun s -> { s with net = sort_msgs s.net })
+      (deliveries @ commits @ crashes @ ticks @ replays)
+  end
+
+(* ---------- invariants ----------------------------------------------------- *)
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let invariant state =
+  match state.error with
+  | Some msg -> Error msg
+  | None ->
+    (* all Valid copies of an object carry the same version (§8 invariant:
+       live nodes in Valid have consistent data) *)
+    let check_obj o =
+      let copies =
+        (if state.crashed || not (get_obj state.c_valid o) then []
+         else [ get_obj state.c_ver o ])
+        @ List.filter_map
+            (fun me ->
+              let f = follower state me in
+              if get_obj f.has o && get_obj f.valid o then Some (get_obj f.ver o)
+              else None)
+            [ 1; 2 ]
+      in
+      match List.sort_uniq compare copies with
+      | [] | [ _ ] -> Ok ()
+      | versions ->
+        err "object %s has valid copies at different versions (%s)"
+          (match o with X -> "X" | Y -> "Y")
+          (String.concat "," (List.map string_of_int versions))
+    in
+    (match check_obj X with Ok () -> check_obj Y | e -> e)
+
+let at_quiescence state =
+  if state.epoch_pending then Ok ()
+  else begin
+    let f1 = state.f1 and f2 = state.f2 in
+    if not state.crashed then begin
+      (* everything must have converged to the coordinator's state *)
+      if f1.ver <> state.c_ver then err "follower 1 diverged"
+      else if fst f2.ver <> fst state.c_ver then err "follower 2 diverged on X"
+      else if f1.valid <> (true, true) || not (fst f2.valid) then
+        err "replicas left invalid"
+      else if f1.stored_invs <> [] || f2.stored_invs <> [] then
+        err "retained R-INVs after validation"
+      else Ok ()
+    end
+    else begin
+      (* crash: survivors agree on shared objects, all valid, no residue *)
+      if fst f1.ver <> fst f2.ver then err "survivors disagree on X"
+      else if f1.valid <> (true, true) || not (fst f2.valid) then
+        err "survivors left invalid"
+      else if f1.stored_invs <> [] || f2.stored_invs <> [] then
+        err "pending replays never drained"
+      else if f1.replay <> None || f2.replay <> None then err "replay stuck"
+      else Ok ()
+    end
+  end
+
+let pp_state ppf state =
+  Format.fprintf ppf "epoch=%d%s crashed=%b cver=(%d,%d) next=%d" state.epoch
+    (if state.epoch_pending then "+" else "")
+    state.crashed (fst state.c_ver) (snd state.c_ver) state.c_next;
+  List.iter
+    (fun (me, f) ->
+      Format.fprintf ppf "; f%d ver=(%d,%d) valid=(%b,%b) cleared=%d stored=%d buf=%d" me
+        (fst f.ver) (snd f.ver) (fst f.valid) (snd f.valid) f.cleared
+        (List.length f.stored_invs) (List.length f.buffered))
+    [ (1, state.f1); (2, state.f2) ];
+  Format.fprintf ppf "; net=%d" (List.length state.net)
+
+let explore ?(config = default_config) ?max_states () =
+  Explorer.bfs ~init:[ init config ]
+    ~next:(next config)
+    ~invariant ~at_quiescence ?max_states ()

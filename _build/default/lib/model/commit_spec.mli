@@ -1,0 +1,38 @@
+(** Pure, exhaustively explorable specification of the reliable commit
+    protocol (§5) — the executable counterpart of the paper's TLA+ model.
+
+    The model instantiates a coordinator (node 0) and two followers.
+    Object X is replicated on both followers, object Y only on follower 1,
+    so follower 2 receives a {e partial stream} of the coordinator's
+    pipeline and exercises the prev-VAL machinery (§5.2).  The coordinator
+    commits a fixed schedule of pipelined transactions; the checker
+    explores every interleaving of local commits and message deliveries,
+    with optional bounded duplication and a coordinator crash followed by
+    follower replay (§5.1).
+
+    Checked in {e every} state:
+    - per-object version monotonicity at every node;
+    - all copies of an object in [t_state = Valid] carry the same version
+      (the paper's "live nodes in Valid have consistent data");
+    - followers apply slots in pipeline order.
+
+    Checked in every {e quiescent} state:
+    - with the coordinator alive: every replica of every object matches the
+      coordinator's committed version and is Valid;
+    - after a coordinator crash: the surviving followers agree on every
+      object they share, hold Valid copies, and their state corresponds to
+      a prefix of the pipeline. *)
+
+type config = {
+  txns : [ `X | `Y | `XY ] list;  (** the coordinator's pipeline schedule *)
+  crash : bool;                   (** allow a coordinator crash *)
+  dup_budget : int;
+}
+
+val default_config : config
+
+type state
+
+val pp_state : Format.formatter -> state -> unit
+
+val explore : ?config:config -> ?max_states:int -> unit -> state Explorer.stats

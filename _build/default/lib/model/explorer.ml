@@ -1,0 +1,81 @@
+type 'state stats = {
+  explored : int;
+  transitions : int;
+  quiescent : int;
+  max_depth : int;
+  violation : ('state * string) option;
+  trace : 'state list;
+}
+
+let bfs ~init ~next ~invariant ?at_quiescence ?(max_states = 500_000) () =
+  (* States are deduplicated on their full marshalled representation:
+     the default polymorphic hash only samples a few constructors of these
+     deep states, which would collapse the table into collision chains. *)
+  let key s = Marshal.to_string s [] in
+  let seen = Hashtbl.create 65_536 in
+  let parent = Hashtbl.create 65_536 in
+  let queue = Queue.create () in
+  let explored = ref 0 in
+  let transitions = ref 0 in
+  let quiescent = ref 0 in
+  let max_depth = ref 0 in
+  let violation = ref None in
+  let enqueue ?from depth state =
+    let k = key state in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k ();
+      (match from with Some p -> Hashtbl.replace parent k p | None -> ());
+      Queue.push (depth, state) queue
+    end
+  in
+  List.iter (enqueue 0) init;
+  (try
+     while not (Queue.is_empty queue) do
+       if !explored >= max_states then raise Exit;
+       let depth, state = Queue.pop queue in
+       incr explored;
+       if depth > !max_depth then max_depth := depth;
+       (match invariant state with
+       | Ok () -> ()
+       | Error msg ->
+         violation := Some (state, msg);
+         raise Exit);
+       let succs = next state in
+       if succs = [] then begin
+         incr quiescent;
+         match at_quiescence with
+         | Some check -> (
+           match check state with
+           | Ok () -> ()
+           | Error msg ->
+             violation := Some (state, "at quiescence: " ^ msg);
+             raise Exit)
+         | None -> ()
+       end
+       else
+         List.iter
+           (fun s ->
+             incr transitions;
+             enqueue ~from:state (depth + 1) s)
+           succs
+     done
+   with Exit -> ());
+  let trace =
+    match !violation with
+    | None -> []
+    | Some (bad, _) ->
+      let rec walk s acc =
+        match Hashtbl.find_opt parent (key s) with
+        | Some p -> walk p (s :: acc)
+        | None -> s :: acc
+      in
+      walk bad []
+  in
+  {
+    explored = !explored;
+    transitions = !transitions;
+    quiescent = !quiescent;
+    max_depth = !max_depth;
+    violation = !violation;
+    trace;
+  }

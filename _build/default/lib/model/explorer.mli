@@ -1,0 +1,33 @@
+(** Bounded exhaustive state-space exploration.
+
+    The paper model-checks the ownership and reliable-commit protocols in
+    TLA+ against crash-stop failures, message reordering and duplication
+    (§8).  This module is the executable analogue: breadth-first search
+    over {e every} interleaving of a pure protocol specification
+    ({!Ownership_spec}, {!Commit_spec}), checking an invariant in every
+    reached state and a liveness-style predicate in every quiescent
+    (transition-free) state. *)
+
+type 'state stats = {
+  explored : int;          (** distinct states visited *)
+  transitions : int;
+  quiescent : int;         (** states with no enabled transition *)
+  max_depth : int;
+  violation : ('state * string) option;
+      (** first invariant (or quiescence-condition) violation found *)
+  trace : 'state list;
+      (** path from an initial state to the violation (empty if none) *)
+}
+
+val bfs :
+  init:'state list ->
+  next:('state -> 'state list) ->
+  invariant:('state -> (unit, string) result) ->
+  ?at_quiescence:('state -> (unit, string) result) ->
+  ?max_states:int ->
+  unit ->
+  'state stats
+(** [next] must return every successor of a state (all enabled transitions).
+    States are deduplicated structurally, so specs should keep their
+    representations canonical (sorted collections).  Exploration stops at
+    [max_states] (default 500_000) or at the first violation. *)

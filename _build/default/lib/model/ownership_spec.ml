@@ -1,0 +1,755 @@
+(* See the interface for the model's scope.  The representation is kept
+   canonical (sorted lists everywhere) so the explorer can deduplicate
+   states structurally. *)
+
+let dirs = [ 0; 1; 2 ]
+let all_nodes = [ 0; 1; 2; 3 ]
+
+type config = {
+  requesters : int list;
+  crashable : int list;
+  dup_budget : int;
+}
+
+let default_config = { requesters = [ 1; 3 ]; crashable = [ 0; 1 ]; dup_budget = 0 }
+
+type ots = { v : int; n : int }
+
+let ots_zero = { v = 0; n = -1 }
+let ots_gt a b = a.v > b.v || (a.v = b.v && a.n > b.n)
+
+type reps = { owner : int option; readers : int list }
+
+type pending = {
+  p_ts : ots;
+  p_base : ots;  (* the driver's applied o_ts at drive time *)
+  p_reps : reps;
+  p_requester : int;
+  p_arbiters : int list;
+  p_driving : bool;
+}
+
+type req_state = { r_acks : int list; r_info : (ots * reps * int list) option }
+
+type verdict = Won | Nacked
+
+type nstate = {
+  role : [ `Owner | `Reader | `None ];
+  ovalid : bool;
+  ts : ots;
+  reps : reps option;  (* directory metadata (dir replicas and the owner) *)
+  pend : pending option;
+  req : req_state option;      (* outstanding own request *)
+  verdict : verdict option;
+  replay_acks : int list option;  (* collecting ACKs as a replay driver *)
+}
+
+type msg =
+  | Req of { requester : int; dst : int }
+  | Inv of {
+      ts : ots;
+      base : ots;
+      reps : reps;
+      requester : int;
+      arbiters : int list;
+      recovery : bool;
+      driver : int;
+      epoch : int;
+      dst : int;
+    }
+  | Ack of {
+      ts : ots;
+      reps : reps;
+      arbiters : int list;
+      sender : int;
+      origin : int;  (* the requester whose request this ACK belongs to *)
+      epoch : int;
+      dst : int;
+    }
+  | Val of { ts : ots; epoch : int; dst : int }
+  | Nack of { dst : int }
+  | Resp of { ts : ots; reps : reps; arbiters : int list; epoch : int; dst : int }
+
+type state = {
+  nodes : nstate list;  (* index = node id *)
+  net : msg list;       (* multiset, kept sorted *)
+  crashed : int option;
+  epoch : int;          (* membership epoch every live node currently holds *)
+  epoch_pending : bool; (* a crash happened, lease not yet expired *)
+  to_issue : int list;  (* intents not yet started *)
+  dups_left : int;
+}
+
+(* ---------- helpers ------------------------------------------------------- *)
+
+let nth state i = List.nth state.nodes i
+
+let update_node state i f =
+  { state with nodes = List.mapi (fun j n -> if j = i then f n else n) state.nodes }
+
+(* Fabric liveness: can the node receive messages?  View liveness: does the
+   membership view still list it?  They differ between a crash and the
+   lease expiry (epoch tick): protocol decisions — arbiter sets, data
+   sources, drop_dead, replay completion — use the VIEW, exactly like the
+   implementation; only message delivery uses the fabric. *)
+let live state i = state.crashed <> Some i
+
+let view_live state i =
+  state.crashed <> Some i || state.epoch_pending
+let sort_msgs l = List.sort compare l
+let send state msgs = { state with net = sort_msgs (msgs @ state.net) }
+
+let remove_one x l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | y :: rest when y = x -> List.rev_append acc rest
+    | y :: rest -> go (y :: acc) rest
+  in
+  go [] l
+
+let is_replica reps node = reps.owner = Some node || List.mem node reps.readers
+
+let promote reps ~new_owner =
+  let readers =
+    (match reps.owner with Some o when o <> new_owner -> [ o ] | _ -> [])
+    @ List.filter (fun r -> r <> new_owner) reps.readers
+  in
+  { owner = Some new_owner; readers = List.sort compare readers }
+
+let drop_dead state reps =
+  {
+    owner = (match reps.owner with Some o when view_live state o -> Some o | _ -> None);
+    readers = List.filter (view_live state) reps.readers;
+  }
+
+(* ---------- initial state ------------------------------------------------- *)
+
+let init_node id =
+  let role = if id = 0 then `Owner else if id = 3 then `None else `Reader in
+  let initial_reps = { owner = Some 0; readers = [ 1; 2 ] } in
+  {
+    role;
+    ovalid = true;
+    ts = ots_zero;
+    reps = (if List.mem id dirs || id = 0 then Some initial_reps else None);
+    pend = None;
+    req = None;
+    verdict = None;
+    replay_acks = None;
+  }
+
+let init config =
+  {
+    nodes = List.map init_node all_nodes;
+    net = [];
+    crashed = None;
+    epoch = 0;
+    epoch_pending = false;
+    to_issue = config.requesters;
+    dups_left = config.dup_budget;
+  }
+
+(* ---------- driver logic (a directory replica serving REQ) ---------------- *)
+
+let drive state ~driver ~requester =
+  let d = nth state driver in
+  match (d.reps, d.pend) with
+  | _, Some _ | None, _ -> send state [ Nack { dst = requester } ]
+  | Some reps, None ->
+    if reps.owner = Some requester then
+      (* trivial confirmation *)
+      send state
+        [
+          Ack
+            {
+              ts = d.ts;
+              reps;
+              arbiters = [ driver ];
+              sender = driver;
+              origin = requester;
+              epoch = state.epoch;
+              dst = requester;
+            };
+        ]
+    else begin
+      let ts = { v = d.ts.v + 1; n = driver } in
+      let new_reps = promote reps ~new_owner:requester in
+      let data_source =
+        if is_replica reps requester then []
+        else begin
+          match reps.owner with
+          | Some o when view_live state o -> [ o ]
+          | _ -> (
+            match List.filter (view_live state) reps.readers with
+            | r :: _ -> [ r ]
+            | [] -> [])
+        end
+      in
+      let arbiters =
+        List.sort_uniq compare
+          (List.filter (view_live state) dirs
+          @ (match reps.owner with Some o when view_live state o -> [ o ] | _ -> [])
+          @ data_source)
+        |> List.filter (fun a -> a <> requester)
+      in
+      if arbiters = [] then send state [ Nack { dst = requester } ]
+      else begin
+        let p =
+          {
+            p_ts = ts;
+            p_base = d.ts;
+            p_reps = new_reps;
+            p_requester = requester;
+            p_arbiters = arbiters;
+            p_driving = true;
+          }
+        in
+        let state =
+          update_node state driver (fun n -> { n with pend = Some p; ovalid = false })
+        in
+        let invs =
+          List.filter_map
+            (fun a ->
+              if a = driver then None
+              else
+                Some
+                  (Inv
+                     {
+                       ts;
+                       base = d.ts;
+                       reps = new_reps;
+                       requester;
+                       arbiters;
+                       recovery = false;
+                       driver;
+                       epoch = state.epoch;
+                       dst = a;
+                     }))
+            arbiters
+        in
+        let self_ack =
+          Ack
+            {
+              ts;
+              reps = new_reps;
+              arbiters;
+              sender = driver;
+              origin = requester;
+              epoch = state.epoch;
+              dst = requester;
+            }
+        in
+        send state (self_ack :: invs)
+      end
+    end
+
+(* ---------- requester apply (wins are applied requester-first, §4.1) ----- *)
+
+let requester_apply state ~me ~ts ~reps ~arbiters =
+  let reps = drop_dead state reps in
+  let state =
+    update_node state me (fun n ->
+        {
+          n with
+          role = `Owner;
+          ovalid = true;
+          ts;
+          reps = Some reps;
+          pend = None;
+          req = None;
+          verdict = Some Won;
+        })
+  in
+  send state
+    (List.filter_map
+       (fun a ->
+         if a = me then None else Some (Val { ts; epoch = state.epoch; dst = a }))
+       arbiters)
+
+let check_req_complete state ~me =
+  let n = nth state me in
+  match n.req with
+  | Some { r_acks; r_info = Some (ts, reps, arbiters) }
+    when List.for_all (fun a -> a = me || List.mem a r_acks) arbiters ->
+    requester_apply state ~me ~ts ~reps ~arbiters
+  | _ -> state
+
+(* ---------- arbiter logic -------------------------------------------------- *)
+
+let arbiter_apply state ~me (p : pending) =
+  let reps = drop_dead state p.p_reps in
+  update_node state me (fun n ->
+      let role =
+        match n.role with
+        | `Owner when p.p_reps.owner <> Some me -> `Reader
+        | r -> r
+      in
+      {
+        n with
+        role;
+        ovalid = true;
+        ts = p.p_ts;
+        reps = (if List.mem me dirs || p.p_reps.owner = Some me then Some reps else None);
+        pend = None;
+        replay_acks = None;
+      })
+
+(* The owner may be mid-transaction when an INV arrives: it NACKs the
+   requester (app-level retry hint) and withholds its ACK — the arbitration
+   stays pending at the other arbiters and their replays keep re-driving it
+   until the owner is free; it is never rolled back (an earlier rollback
+   design produced zombie arbitrations and two owners — see
+   EXPERIMENTS.md).  Whether the owner is busy is nondeterministic in the
+   model; [handle_inv] therefore returns every possible successor. *)
+let busy_branch state ~me ~ts ~requester ~arbiters =
+  ignore ts;
+  ignore arbiters;
+  let n = nth state me in
+  if n.role <> `Owner then None
+  else Some (send state [ Nack { dst = requester } ])
+
+let handle_inv state ~me ~ts ~base ~reps ~requester ~arbiters ~recovery ~driver =
+  let n = nth state me in
+  let reply_dst = if recovery then driver else requester in
+  let ack =
+    Ack
+      {
+        ts;
+        reps;
+        arbiters;
+        sender = me;
+        origin = requester;
+        epoch = state.epoch;
+        dst = reply_dst;
+      }
+  in
+  if n.ts = ts then [ send state [ ack ] ]
+  else begin
+    match n.pend with
+    | Some p when p.p_ts = ts -> [ send state [ ack ] ]
+    | p ->
+      let beats_applied = ots_gt ts n.ts in
+      let beats_pending =
+        match p with Some p -> ots_gt ts p.p_ts | None -> true
+      in
+      if beats_applied && beats_pending then begin
+        (* a driven competitor loses: NACK its requester *)
+        let state =
+          match p with
+          | Some p when p.p_driving ->
+            send state [ Nack { dst = p.p_requester } ]
+          | _ -> state
+        in
+        (* a buffered predecessor this INV is based on has provably won:
+           apply it before buffering the successor *)
+        let state =
+          match p with
+          | Some p when p.p_ts = base -> arbiter_apply state ~me p
+          | _ -> state
+        in
+        let pnew =
+          {
+            p_ts = ts;
+            p_base = base;
+            p_reps = reps;
+            p_requester = requester;
+            p_arbiters = arbiters;
+            p_driving = false;
+          }
+        in
+        let state' =
+          update_node state me (fun n ->
+              (* a new arbitration resets this arbiter's replay lifecycle
+                 (the implementation re-arms its replay timer per o_ts) *)
+              { n with pend = Some pnew; ovalid = false; replay_acks = None })
+        in
+        let accept = send state' [ ack ] in
+        if recovery then [ accept ]
+        else
+          match busy_branch state ~me ~ts ~requester ~arbiters with
+          | Some busy -> [ accept; busy ]
+          | None -> [ accept ]
+      end
+      else [ state ] (* stale or beaten: ignore *)
+  end
+
+(* ---------- arb-replay ----------------------------------------------------- *)
+
+let start_replay state ~me =
+  let n = nth state me in
+  match n.pend with
+  | None -> state
+  | Some p ->
+    let state =
+      update_node state me (fun n -> { n with replay_acks = Some [ me ] })
+    in
+    send state
+      (List.filter_map
+         (fun a ->
+           if a = me || not (view_live state a) then None
+           else
+             Some
+               (Inv
+                  {
+                    ts = p.p_ts;
+                    base = p.p_base;
+                    reps = p.p_reps;
+                    requester = p.p_requester;
+                    arbiters = p.p_arbiters;
+                    recovery = true;
+                    driver = me;
+                    epoch = state.epoch;
+                    dst = a;
+                  }))
+         p.p_arbiters)
+
+let replay_check_complete state ~me =
+  let n = nth state me in
+  match (n.pend, n.replay_acks) with
+  | Some p, Some acks
+    when List.for_all
+           (fun a -> (not (view_live state a)) || List.mem a acks)
+           p.p_arbiters ->
+    if view_live state p.p_requester then
+      send state
+        [
+          Resp
+            {
+              ts = p.p_ts;
+              reps = p.p_reps;
+              arbiters = p.p_arbiters;
+              epoch = state.epoch;
+              dst = p.p_requester;
+            };
+        ]
+    else begin
+      let state = arbiter_apply state ~me p in
+      send state
+        (List.filter_map
+           (fun a ->
+             if a = me || not (view_live state a) then None
+             else Some (Val { ts = p.p_ts; epoch = state.epoch; dst = a }))
+           p.p_arbiters)
+    end
+  | _ -> state
+
+(* ---------- message delivery ---------------------------------------------- *)
+
+let deliver state msg =
+  let dst =
+    match msg with
+    | Req { dst; _ } | Inv { dst; _ } | Ack { dst; _ } | Val { dst; _ }
+    | Nack { dst } | Resp { dst; _ } ->
+      dst
+  in
+  if not (live state dst) then [ state ]
+  else begin
+    match msg with
+    | Req { requester; dst } -> [ drive state ~driver:dst ~requester ]
+    | Inv { ts; base; reps; requester; arbiters; recovery; driver; epoch; dst } ->
+      if epoch <> state.epoch then [ state ]
+      else handle_inv state ~me:dst ~ts ~base ~reps ~requester ~arbiters ~recovery ~driver
+    | Ack { ts; reps; arbiters; sender; origin; epoch; dst } ->
+      if epoch <> state.epoch then [ state ]
+      else begin
+        let n = nth state dst in
+        (* requester-side ack? (the implementation routes on req_id.origin) *)
+        match n.req with
+        | Some r when origin = dst ->
+          let r =
+            {
+              r_acks = List.sort_uniq compare (sender :: r.r_acks);
+              r_info =
+                (match r.r_info with
+                | Some (ts0, _, _) when ts0 = ts -> r.r_info
+                | _ -> Some (ts, reps, arbiters));
+            }
+          in
+          let state = update_node state dst (fun n -> { n with req = Some r }) in
+          [ check_req_complete state ~me:dst ]
+        | Some _ | None -> (
+          (* replay-driver ack *)
+          match (n.pend, n.replay_acks) with
+          | Some p, Some acks when p.p_ts = ts ->
+            let state =
+              update_node state dst (fun n ->
+                  { n with replay_acks = Some (List.sort_uniq compare (sender :: acks)) })
+            in
+            [ replay_check_complete state ~me:dst ]
+          | _ -> [ state ])
+      end
+    | Val { ts; epoch; dst } ->
+      if epoch <> state.epoch then [ state ]
+      else begin
+        let n = nth state dst in
+        match n.pend with
+        | Some p when p.p_ts = ts -> [ arbiter_apply state ~me:dst p ]
+        | _ -> [ state ]
+      end
+    | Nack { dst } ->
+      [
+        update_node state dst (fun n ->
+            match n.req with
+            | Some _ -> { n with req = None; verdict = Some Nacked }
+            | None -> n);
+      ]
+    | Resp { ts; reps; arbiters; epoch; dst } ->
+      if epoch <> state.epoch then [ state ]
+      else begin
+        let n = nth state dst in
+        let pend_matches =
+          match n.pend with Some p -> p.p_ts = ts | None -> false
+        in
+        if ots_gt ts n.ts || pend_matches then
+          [ requester_apply state ~me:dst ~ts ~reps ~arbiters ]
+        else
+          (* already applied: the replaying arbiters only need the VALs *)
+          [
+            send state
+              (List.filter_map
+                 (fun a ->
+                   if a = dst || not (view_live state a) then None
+                   else Some (Val { ts; epoch = state.epoch; dst = a }))
+                 arbiters);
+          ]
+      end
+  end
+
+(* ---------- transitions ---------------------------------------------------- *)
+
+let issue state requester =
+  let state = { state with to_issue = List.filter (fun r -> r <> requester) state.to_issue } in
+  if not (live state requester) then state
+  else begin
+    let state =
+      update_node state requester (fun n ->
+          { n with req = Some { r_acks = []; r_info = None } })
+    in
+    (* a directory member drives its own request; others go through the
+       first live directory replica (the implementation's requester always
+       picks a live driver and re-picks on timeout) *)
+    let driver =
+      if List.mem requester dirs then requester
+      else
+        match List.filter (view_live state) dirs with
+        | d :: _ -> d
+        | [] -> requester (* unreachable with ≤1 crash *)
+    in
+    if driver = requester then drive state ~driver ~requester
+    else send state [ Req { requester; dst = driver } ]
+  end
+
+let crash state victim =
+  if state.crashed <> None || not (live state victim) then state
+  else { state with crashed = Some victim; epoch_pending = true }
+
+(* Lease expiry: every live node installs the new epoch atomically (the
+   membership service guarantees a consistent view sequence, §3.1).
+   Outstanding requests from the old epoch fail; applied metadata drops the
+   dead node. *)
+let epoch_tick state =
+  let state = { state with epoch = state.epoch + 1; epoch_pending = false } in
+  {
+    state with
+    nodes =
+      List.mapi
+        (fun i n ->
+          if not (live state i) then n
+          else
+            {
+              n with
+              req = None;
+              verdict =
+                (if n.req <> None && n.verdict = None then Some Nacked else n.verdict);
+              reps = Option.map (drop_dead state) n.reps;
+              replay_acks = None;
+            })
+        state.nodes;
+  }
+
+let next config state =
+  ignore config;
+  let deliveries =
+    List.concat_map
+      (fun msg ->
+        let consumed = deliver { state with net = remove_one msg state.net } msg in
+        let dup =
+          if state.dups_left > 0 then
+            deliver { state with dups_left = state.dups_left - 1 } msg
+          else []
+        in
+        consumed @ dup)
+      (List.sort_uniq compare state.net)
+  in
+  let issues = List.map (issue state) state.to_issue in
+  let crashes =
+    if state.crashed = None then List.map (crash state) config.crashable else []
+  in
+  let ticks = if state.epoch_pending then [ epoch_tick state ] else [] in
+  (* Arb-replay models the implementation's per-arbitration timer, which
+     re-arms indefinitely: the transition is enabled whenever nothing in
+     flight could still resolve the pending arbitration.  BFS deduplication
+     folds the resulting retry cycles, so exploration still terminates. *)
+  let mentions_ts ts msg =
+    match msg with
+    | Inv { ts = t; _ } | Ack { ts = t; _ } | Val { ts = t; _ } | Resp { ts = t; _ } ->
+      t = ts
+    | Req _ | Nack _ -> false
+  in
+  let replays =
+    if not state.epoch_pending then
+      List.filter_map
+        (fun i ->
+          let n = nth state i in
+          match n.pend with
+          | Some p
+            when live state i && not (List.exists (mentions_ts p.p_ts) state.net) ->
+            Some (replay_check_complete (start_replay state ~me:i) ~me:i)
+          | _ -> None)
+        all_nodes
+    else []
+  in
+  List.map
+    (fun s -> { s with net = sort_msgs s.net })
+    (deliveries @ issues @ crashes @ ticks @ replays)
+
+(* ---------- invariants ----------------------------------------------------- *)
+
+let owners state =
+  List.concat
+    (List.mapi
+       (fun i n -> if live state i && n.role = `Owner && n.ovalid then [ i ] else [])
+       state.nodes)
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let invariant state =
+  match owners state with
+  | _ :: _ :: _ -> err "two live valid owners"
+  | _ ->
+    (* valid directory replicas with equal timestamps agree on replicas *)
+    (* dead nodes are purged from o_replicas lazily (at the epoch tick or
+       the next apply), so compare modulo non-live members *)
+    let valid_dirs =
+      List.filter_map
+        (fun d ->
+          let n = nth state d in
+          if live state d && n.ovalid then
+            match n.reps with Some r -> Some (n.ts, drop_dead state r) | None -> None
+          else None)
+        dirs
+    in
+    let rec pairwise = function
+      | (ts1, r1) :: rest ->
+        if
+          List.exists (fun (ts2, r2) -> ts1 = ts2 && r1 <> r2) rest
+        then err "directory replicas with equal o_ts disagree"
+        else pairwise rest
+      | [] -> Ok ()
+    in
+    pairwise valid_dirs
+
+let at_quiescence state =
+  if state.epoch_pending then Ok () (* tick still enabled: not truly quiescent *)
+  else begin
+    let stuck_pend =
+      List.exists
+        (fun i -> live state i && (nth state i).pend <> None)
+        all_nodes
+    in
+    let stuck_req =
+      List.exists (fun i -> live state i && (nth state i).req <> None) all_nodes
+    in
+    if stuck_pend then err "pending arbitration never resolved"
+    else if stuck_req then err "request never reached a verdict"
+    else begin
+      match owners state with
+      | [] ->
+        (* acceptable only after a crash; the freshest directory replicas
+           must not name a live owner (stale ones may, harmlessly: any
+           request through them is still arbitrated by the freshest) *)
+        let live_valid =
+          List.filter_map
+            (fun d ->
+              let n = nth state d in
+              if live state d && n.ovalid then Some n else None)
+            dirs
+        in
+        let max_ts =
+          List.fold_left (fun acc n -> if ots_gt n.ts acc then n.ts else acc) ots_zero
+            live_valid
+        in
+        let dir_claims_live_owner =
+          List.exists
+            (fun n ->
+              n.ts = max_ts
+              &&
+              match n.reps with
+              | Some { owner = Some o; _ } -> live state o
+              | _ -> false)
+            live_valid
+        in
+        if dir_claims_live_owner then
+          err "freshest directory replicas name a live owner but none exists"
+        else if state.crashed = None then err "no owner without any failure"
+        else Ok ()
+      | [ owner_id ] ->
+        (* Timestamp-relative agreement: replicas at the owner's o_ts must
+           name it; older replicas may lag after a busy-NACK rollback (the
+           next arbitration through them repairs the staleness, and safety
+           is preserved because every request is arbitrated by all live
+           directory replicas plus the true owner). *)
+        let owner_ts = (nth state owner_id).ts in
+        let ok =
+          List.for_all
+            (fun d ->
+              let n = nth state d in
+              (not (live state d)) || (not n.ovalid)
+              ||
+              if n.ts = owner_ts then
+                match n.reps with
+                | Some { owner = Some o; _ } -> o = owner_id
+                | _ -> d = owner_id
+              else not (ots_gt n.ts owner_ts))
+            dirs
+        in
+        if ok then Ok () else err "directory disagrees with the owner at its o_ts"
+      | _ -> err "unreachable"
+    end
+  end
+
+let pp_msg ppf = function
+  | Req { requester; dst } -> Format.fprintf ppf "Req(r%d->%d)" requester dst
+  | Inv { ts; base; recovery; driver; dst; requester; _ } ->
+    Format.fprintf ppf "Inv(ts=%d.%d base=%d.%d req=%d drv=%d rec=%b ->%d)" ts.v ts.n
+      base.v base.n requester driver recovery dst
+  | Ack { ts; sender; dst; _ } ->
+    Format.fprintf ppf "Ack(ts=%d.%d from=%d ->%d)" ts.v ts.n sender dst
+  | Val { ts; dst; _ } -> Format.fprintf ppf "Val(ts=%d.%d ->%d)" ts.v ts.n dst
+  | Nack { dst } -> Format.fprintf ppf "Nack(->%d)" dst
+  | Resp { ts; dst; _ } -> Format.fprintf ppf "Resp(ts=%d.%d ->%d)" ts.v ts.n dst
+
+let pp_state ppf state =
+  Format.fprintf ppf "epoch=%d crashed=%s" state.epoch
+    (match state.crashed with Some c -> string_of_int c | None -> "-");
+  List.iteri
+    (fun i n ->
+      Format.fprintf ppf "; n%d=%s%s ts=(%d,%d)%s%s%s" i
+        (match n.role with `Owner -> "O" | `Reader -> "R" | `None -> "-")
+        (if n.ovalid then "" else "!")
+        n.ts.v n.ts.n
+        (match n.pend with
+        | Some p -> Printf.sprintf " pend(ts=%d.%d req=%d)" p.p_ts.v p.p_ts.n p.p_requester
+        | None -> "")
+        (if n.req <> None then " REQ" else "")
+        (if n.replay_acks <> None then " replaying" else ""))
+    state.nodes;
+  Format.fprintf ppf "; net=[%a]; to_issue=[%s]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") pp_msg)
+    state.net
+    (String.concat "," (List.map string_of_int state.to_issue))
+
+let explore ?(config = default_config) ?max_states () =
+  Explorer.bfs ~init:[ init config ]
+    ~next:(next config)
+    ~invariant ~at_quiescence ?max_states ()

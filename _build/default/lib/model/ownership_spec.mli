@@ -1,0 +1,42 @@
+(** Pure, exhaustively explorable specification of the reliable ownership
+    protocol (§4) — the executable counterpart of the paper's TLA+ model.
+
+    The model instantiates four nodes: nodes 0–2 are directory replicas,
+    node 0 initially owns the object with readers {1, 2}, node 3 is a
+    non-replica.  Two Acquire intents (from a reader and from the
+    non-replica) race through different drivers; the checker explores every
+    interleaving of message deliveries, with optional bounded message
+    duplication and one crash-stop failure followed by a membership epoch
+    change and arb-replay.
+
+    The fault model matches the paper's §8 checking setup: crash-stop
+    failures, message reordering (the network is a multiset) and message
+    duplication — loss is recovered below the protocol by the reliable
+    transport, so it is not part of the protocol-level model.
+
+    Checked in {e every} state:
+    - at most one live node acts as owner ([role = Owner] in a valid
+      ownership state);
+    - any two live directory replicas in a valid state with the same
+      ownership timestamp agree on the replica set.
+
+    Checked in every {e quiescent} state (no messages in flight, no pending
+    arbitration):
+    - at most one live owner; if one exists, every live valid directory
+      replica records exactly that owner;
+    - every issued request reached a verdict (won, NACKed, or its requester
+      crashed). *)
+
+type config = {
+  requesters : int list;  (** nodes issuing Acquire intents (subset of 1..3) *)
+  crashable : int list;   (** nodes that may crash (at most one does) *)
+  dup_budget : int;       (** how many deliveries may be duplicated *)
+}
+
+val default_config : config
+
+type state
+
+val pp_state : Format.formatter -> state -> unit
+
+val explore : ?config:config -> ?max_states:int -> unit -> state Explorer.stats

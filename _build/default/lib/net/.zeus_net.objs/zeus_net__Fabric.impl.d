@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Hashtbl Msg Zeus_sim

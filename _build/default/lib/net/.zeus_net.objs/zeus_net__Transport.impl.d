@@ -1,0 +1,1 @@
+lib/net/transport.ml: Array Fabric Hashtbl Msg Zeus_sim

@@ -1,0 +1,119 @@
+module Engine = Zeus_sim.Engine
+module Rng = Zeus_sim.Rng
+
+type config = {
+  base_latency_us : float;
+  jitter_us : float;
+  bandwidth_gbps : float;
+  loss_prob : float;
+  dup_prob : float;
+  reorder_prob : float;
+  reorder_delay_us : float;
+}
+
+let default_config =
+  {
+    base_latency_us = 4.0;
+    jitter_us = 0.3;
+    bandwidth_gbps = 40.0;
+    loss_prob = 0.0;
+    dup_prob = 0.0;
+    reorder_prob = 0.0;
+    reorder_delay_us = 10.0;
+  }
+
+type t = {
+  engine : Engine.t;
+  nodes : int;
+  config : config;
+  rng : Rng.t;
+  handlers : (src:Msg.node_id -> Msg.payload -> unit) option array;
+  alive : bool array;
+  partitions : (int * int, unit) Hashtbl.t;
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable messages_dropped : int;
+}
+
+let create engine ~nodes config =
+  assert (nodes > 0);
+  {
+    engine;
+    nodes;
+    config;
+    rng = Engine.fork_rng engine;
+    handlers = Array.make nodes None;
+    alive = Array.make nodes true;
+    partitions = Hashtbl.create 8;
+    messages_sent = 0;
+    bytes_sent = 0;
+    messages_dropped = 0;
+  }
+
+let engine t = t.engine
+let nodes t = t.nodes
+let config t = t.config
+let set_handler t node fn = t.handlers.(node) <- Some fn
+let is_alive t node = t.alive.(node)
+
+let crash t node = t.alive.(node) <- false
+let recover t node = t.alive.(node) <- true
+
+let pair a b = if a < b then (a, b) else (b, a)
+let partition t a b = Hashtbl.replace t.partitions (pair a b) ()
+let heal t a b = Hashtbl.remove t.partitions (pair a b)
+let heal_all t = Hashtbl.reset t.partitions
+let partitioned t a b = Hashtbl.mem t.partitions (pair a b)
+
+let messages_sent t = t.messages_sent
+let bytes_sent t = t.bytes_sent
+let messages_dropped t = t.messages_dropped
+
+let reset_counters t =
+  t.messages_sent <- 0;
+  t.bytes_sent <- 0;
+  t.messages_dropped <- 0
+
+let deliver t ~src ~dst payload =
+  (* Checked at arrival time: a node that crashed in flight drops the
+     message, matching a NIC going dark. *)
+  if t.alive.(dst) && not (partitioned t src dst) then begin
+    match t.handlers.(dst) with
+    | Some fn -> fn ~src payload
+    | None -> ()
+  end
+  else t.messages_dropped <- t.messages_dropped + 1
+
+let latency t ~size =
+  let c = t.config in
+  let serialize =
+    (* bytes -> µs at [bandwidth] Gbps: size * 8 bits / (gbps * 1000 bits/µs) *)
+    float_of_int size *. 8.0 /. (c.bandwidth_gbps *. 1000.0)
+  in
+  c.base_latency_us +. serialize +. Rng.float t.rng c.jitter_us
+
+let send t ~src ~dst ?(size = 64) payload =
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + size;
+  if not t.alive.(src) then t.messages_dropped <- t.messages_dropped + 1
+  else if src = dst then
+    ignore (Engine.schedule t.engine ~after:0.05 (fun () -> deliver t ~src ~dst payload))
+  else begin
+    let c = t.config in
+    if Rng.chance t.rng c.loss_prob then t.messages_dropped <- t.messages_dropped + 1
+    else begin
+      let base = latency t ~size in
+      let extra =
+        if Rng.chance t.rng c.reorder_prob then Rng.float t.rng c.reorder_delay_us
+        else 0.0
+      in
+      let arrival = base +. extra in
+      ignore (Engine.schedule t.engine ~after:arrival (fun () -> deliver t ~src ~dst payload));
+      if Rng.chance t.rng c.dup_prob then begin
+        let dup_arrival = latency t ~size +. Rng.float t.rng c.reorder_delay_us in
+        ignore
+          (Engine.schedule t.engine ~after:dup_arrival (fun () ->
+               deliver t ~src ~dst payload))
+      end
+    end
+  end

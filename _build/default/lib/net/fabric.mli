@@ -1,0 +1,57 @@
+(** Unreliable intra-datacenter message fabric.
+
+    Models the cluster network of the paper's testbed: a one-way base
+    latency, a serialization cost proportional to message size (link
+    bandwidth), and optional fault injection — probabilistic loss,
+    duplication, extra reordering delay — plus crash-stop nodes and
+    two-sided partitions.  Delivery invokes the destination's handler at the
+    (virtual) arrival time; charging receive CPU is the receiver's job. *)
+
+type config = {
+  base_latency_us : float;  (** one-way propagation + switching delay *)
+  jitter_us : float;        (** uniform extra delay in [0, jitter] *)
+  bandwidth_gbps : float;   (** per-link serialization rate *)
+  loss_prob : float;        (** probability a message is dropped *)
+  dup_prob : float;         (** probability a message is delivered twice *)
+  reorder_prob : float;     (** probability of an extra reordering delay *)
+  reorder_delay_us : float; (** magnitude of that extra delay *)
+}
+
+val default_config : config
+(** 40 Gbps links, 4 µs one-way latency, no fault injection — the paper's
+    switch fabric in good health. *)
+
+type t
+
+val create : Zeus_sim.Engine.t -> nodes:int -> config -> t
+val engine : t -> Zeus_sim.Engine.t
+val nodes : t -> int
+val config : t -> config
+
+val set_handler : t -> Msg.node_id -> (src:Msg.node_id -> Msg.payload -> unit) -> unit
+(** Install the receive handler for a node.  Replaces any previous one. *)
+
+val send : t -> src:Msg.node_id -> dst:Msg.node_id -> ?size:int -> Msg.payload -> unit
+(** Fire-and-forget.  [size] in bytes (default 64, a small protocol
+    message).  Self-sends are delivered with negligible latency and no
+    fault injection. *)
+
+val crash : t -> Msg.node_id -> unit
+(** Crash-stop: all traffic to and from the node is silently dropped, and
+    its handler never fires again (until [recover]). *)
+
+val recover : t -> Msg.node_id -> unit
+val is_alive : t -> Msg.node_id -> bool
+
+val partition : t -> Msg.node_id -> Msg.node_id -> unit
+(** Symmetric partition between two nodes. *)
+
+val heal : t -> Msg.node_id -> Msg.node_id -> unit
+val heal_all : t -> unit
+
+(** Traffic accounting (for the paper's bandwidth comparisons). *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+val messages_dropped : t -> int
+val reset_counters : t -> unit

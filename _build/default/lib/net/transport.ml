@@ -1,0 +1,135 @@
+module Engine = Zeus_sim.Engine
+
+type config = { rto_us : float; max_retries : int; dedup : bool }
+
+let default_config = { rto_us = 40.0; max_retries = 50; dedup = true }
+
+type Msg.payload +=
+  | Data of { seq : int; inner : Msg.payload; size : int }
+  | Ack of { seq : int }
+
+type pending = {
+  dst : Msg.node_id;
+  payload : Msg.payload;
+  size : int;
+  mutable retries : int;
+  mutable timer : Engine.event_id option;
+}
+
+type peer_state = {
+  mutable next_seq : int;
+  (* seq -> in-flight message awaiting ack *)
+  inflight : (int, pending) Hashtbl.t;
+  (* seqs already delivered to the application (receive side) *)
+  seen : (int, unit) Hashtbl.t;
+}
+
+type t = {
+  fabric : Fabric.t;
+  config : config;
+  handlers : (src:Msg.node_id -> Msg.payload -> unit) option array;
+  (* peers.(src).(dst) — sender and receiver state for the src->dst flow *)
+  peers : peer_state array array;
+  mutable retransmissions : int;
+}
+
+let fresh_peer () =
+  { next_seq = 0; inflight = Hashtbl.create 16; seen = Hashtbl.create 64 }
+
+let fabric t = t.fabric
+let retransmissions t = t.retransmissions
+let set_handler t node fn = t.handlers.(node) <- Some fn
+
+let deliver t ~dst ~src inner =
+  match t.handlers.(dst) with Some fn -> fn ~src inner | None -> ()
+
+let cancel_timer t p =
+  match p.timer with
+  | Some ev ->
+    Engine.cancel (Fabric.engine t.fabric) ev;
+    p.timer <- None
+  | None -> ()
+
+let rec arm_retransmit t ~src seq p =
+  let engine = Fabric.engine t.fabric in
+  p.timer <-
+    Some
+      (Engine.schedule engine ~after:t.config.rto_us (fun () ->
+           p.timer <- None;
+           (* Still unacked: retransmit unless we've given up or either end
+              is dead (a dead peer is detected by membership, not us). *)
+           if Hashtbl.mem t.peers.(src).(p.dst).inflight seq then begin
+             if
+               p.retries < t.config.max_retries
+               && Fabric.is_alive t.fabric src
+               && Fabric.is_alive t.fabric p.dst
+             then begin
+               p.retries <- p.retries + 1;
+               t.retransmissions <- t.retransmissions + 1;
+               Fabric.send t.fabric ~src ~dst:p.dst ~size:p.size
+                 (Data { seq; inner = p.payload; size = p.size });
+               arm_retransmit t ~src seq p
+             end
+             else Hashtbl.remove t.peers.(src).(p.dst).inflight seq
+           end))
+
+let handle t ~dst ~src payload =
+  match payload with
+  | Data { seq; inner; size = _ } ->
+    Fabric.send t.fabric ~src:dst ~dst:src ~size:16 (Ack { seq });
+    let rx = t.peers.(src).(dst) in
+    if t.config.dedup then begin
+      if not (Hashtbl.mem rx.seen seq) then begin
+        Hashtbl.replace rx.seen seq ();
+        deliver t ~dst ~src inner
+      end
+    end
+    else deliver t ~dst ~src inner
+  | Ack { seq } ->
+    (* [dst] is the original sender: clear its inflight entry. *)
+    let tx = t.peers.(dst).(src) in
+    (match Hashtbl.find_opt tx.inflight seq with
+    | Some p ->
+      cancel_timer t p;
+      Hashtbl.remove tx.inflight seq
+    | None -> ())
+  | other -> deliver t ~dst ~src other
+
+let create ?(config = default_config) fabric =
+  let n = Fabric.nodes fabric in
+  let t =
+    {
+      fabric;
+      config;
+      handlers = Array.make n None;
+      peers = Array.init n (fun _ -> Array.init n (fun _ -> fresh_peer ()));
+      retransmissions = 0;
+    }
+  in
+  for node = 0 to n - 1 do
+    Fabric.set_handler fabric node (fun ~src payload -> handle t ~dst:node ~src payload)
+  done;
+  t
+
+let send t ~src ~dst ?(size = 64) payload =
+  let tx = t.peers.(src).(dst) in
+  let seq = tx.next_seq in
+  tx.next_seq <- seq + 1;
+  let p = { dst; payload; size; retries = 0; timer = None } in
+  Hashtbl.replace tx.inflight seq p;
+  Fabric.send t.fabric ~src ~dst ~size (Data { seq; inner = payload; size });
+  arm_retransmit t ~src seq p
+
+let send_unreliable t ~src ~dst ?(size = 64) payload =
+  Fabric.send t.fabric ~src ~dst ~size payload
+
+let crash t node =
+  Fabric.crash t.fabric node;
+  let n = Fabric.nodes t.fabric in
+  for dst = 0 to n - 1 do
+    let tx = t.peers.(node).(dst) in
+    Hashtbl.iter (fun _ p -> cancel_timer t p) tx.inflight;
+    Hashtbl.reset tx.inflight
+  done
+
+let recover t node = Fabric.recover t.fabric node

@@ -1,0 +1,45 @@
+(** Reliable messaging over the unreliable {!Fabric}.
+
+    The paper's datastore ships a custom reliable messaging library over
+    DPDK (§3.1, §7): low-level retransmission recovers lost messages, and
+    receivers deduplicate.  This module reproduces it: per-peer sequence
+    numbers, ack-driven retransmission, and (optionally) receive-side
+    deduplication.  Delivery is {e not} order-preserving — the Zeus
+    protocols are designed to tolerate reordering, and tests can disable
+    dedup to exercise their idempotency against duplication too. *)
+
+type config = {
+  rto_us : float;      (** retransmission timeout *)
+  max_retries : int;   (** give up after this many retransmissions (a crashed
+                           peer is the membership service's problem) *)
+  dedup : bool;        (** deduplicate on the receive side *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Fabric.t -> t
+(** Installs itself as every node's fabric handler. *)
+
+val fabric : t -> Fabric.t
+
+val set_handler : t -> Msg.node_id -> (src:Msg.node_id -> Msg.payload -> unit) -> unit
+(** Application-level receive handler for a node. *)
+
+val send : t -> src:Msg.node_id -> dst:Msg.node_id -> ?size:int -> Msg.payload -> unit
+(** Reliable send: retransmits until acknowledged or [max_retries] is
+    exhausted. *)
+
+val send_unreliable : t -> src:Msg.node_id -> dst:Msg.node_id -> ?size:int -> Msg.payload -> unit
+(** Plain fabric send, bypassing retransmission (used for traffic where the
+    protocol layer has its own replay, and in tests). *)
+
+val crash : t -> Msg.node_id -> unit
+(** Crash the node at fabric level and drop its transport state (pending
+    retransmissions, dedup windows). *)
+
+val recover : t -> Msg.node_id -> unit
+
+val retransmissions : t -> int
+(** Total retransmitted messages (observability for tests/benches). *)

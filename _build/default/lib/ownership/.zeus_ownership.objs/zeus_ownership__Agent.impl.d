@@ -1,0 +1,1 @@
+lib/ownership/agent.ml: Array Bytes Directory Format Hashtbl List Messages Obj Ots Replicas Result Table Types Value Zeus_membership Zeus_net Zeus_sim Zeus_store

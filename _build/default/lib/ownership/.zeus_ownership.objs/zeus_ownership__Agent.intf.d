@@ -1,0 +1,1 @@
+lib/ownership/agent.mli: Directory Messages Ots Replicas Table Types Zeus_membership Zeus_net Zeus_sim Zeus_store

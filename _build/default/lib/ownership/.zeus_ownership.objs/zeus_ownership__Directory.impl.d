@@ -1,0 +1,1 @@
+lib/ownership/directory.ml: Hashtbl Messages Ots Replicas Types Zeus_store

@@ -1,0 +1,1 @@
+lib/ownership/directory.mli: Messages Ots Replicas Types Zeus_store

@@ -1,0 +1,1 @@
+lib/ownership/messages.mli: Format Ots Replicas Types Value Zeus_net Zeus_store

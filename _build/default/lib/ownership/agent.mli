@@ -1,0 +1,131 @@
+(** Per-node agent of the reliable ownership protocol (§4).
+
+    One agent runs on every node and plays all three roles:
+
+    - {e requester}: [request] sends REQ to a directory node, collects the
+      arbiters' ACKs, applies the new placement {e first} (§4.1), unblocks
+      the caller after 1.5 RTT, and broadcasts VAL;
+    - {e driver}: a directory node receiving REQ stamps the request with
+      [o_ts = (obj_ver + 1, self)] and invalidates the other arbiters;
+    - {e arbiter}: directory replicas, the current owner, and (when the
+      owner is dead or the data must come from elsewhere) a designated
+      reader buffer the pending arbitration, ACK, and apply on VAL.
+
+    Contention is resolved by lexicographic [o_ts]: an arbiter only
+    processes an INV that beats both its applied and pending timestamps,
+    and a driver that processes a competitor's INV NACKs its own requester.
+    Because every directory replica arbitrates every request, two
+    concurrent requests always share an arbiter that picks the single
+    winner.
+
+    Failures: epoch-tagged messages are dropped across view changes; any
+    blocked arbiter replays the idempotent arbitration ({e arb-replay})
+    acting as driver, finishing with RESP to a live requester (who still
+    applies first) or driver-side VALs when the requester died (§4.1). *)
+
+open Zeus_store
+
+(** Hooks into the node runtime (the store and commit layers). *)
+type callbacks = {
+  is_busy : Types.key -> bool;
+      (** owner-side: the object is in a still-executing or
+          still-replicating transaction, so the request must be NACKed *)
+  apply_arbiter :
+    key:Types.key ->
+    kind:Messages.kind ->
+    o_ts:Ots.t ->
+    replicas:Replicas.t ->
+    requester:Types.node_id ->
+    unit;
+      (** a request validated at this node: demote/trim/update the local
+          replica accordingly *)
+  apply_requester :
+    key:Types.key ->
+    kind:Messages.kind ->
+    o_ts:Ots.t ->
+    replicas:Replicas.t ->
+    data:Messages.data_snapshot option ->
+    unit;
+      (** this node's own request won: install the object/access level *)
+}
+
+type config = {
+  request_timeout_us : float;
+      (** requester gives up (the app will retry with backoff) *)
+  replay_after_us : float;
+      (** how long an arbitration may stay pending before a blocked arbiter
+          initiates arb-replay *)
+  replay_sweep_us : float;  (** period of the stuck-arbitration sweep *)
+}
+
+val default_config : config
+
+type t
+
+val trace : (string -> unit) option ref
+(** Debug hook: protocol-event trace lines (tests and debugging). *)
+
+val create :
+  ?config:config ->
+  node:Types.node_id ->
+  dir_nodes_of:(Types.key -> Types.node_id list) ->
+  table:Table.t ->
+  membership:Zeus_membership.Service.t ->
+  callbacks:callbacks ->
+  Zeus_net.Transport.t ->
+  t
+(** The agent does not install transport handlers; the node runtime routes
+    payloads to {!handle}.  [create] subscribes to membership changes. *)
+
+val node : t -> Types.node_id
+
+val directory : t -> Directory.t
+(** This node's directory shard: entries for the keys whose [dir_nodes_of]
+    set contains this node (all keys, with the single replicated directory
+    of §4; a hash slice with the distributed directory of §6.2). *)
+
+val request :
+  t ->
+  key:Types.key ->
+  kind:Messages.kind ->
+  k:((unit, Messages.nack_reason) result -> unit) ->
+  unit
+(** Start an ownership request; [k] fires exactly once, when the request is
+    applied locally (the 1.5-RTT unblock point), NACKed, or timed out. *)
+
+val register_object : t -> Types.key -> Replicas.t -> unit
+(** Creation path: install directory metadata (local directory replica
+    synchronously, remote ones by reliable message). *)
+
+val forget_object : t -> Types.key -> unit
+
+val seed_directory : t -> Types.key -> Replicas.t -> unit
+(** Bootstrap only: install directory metadata locally with no messaging. *)
+
+val announce_recovery_done : t -> epoch:int -> unit
+(** The commit layer drained all pending reliable commits from dead
+    coordinators for [epoch]; tell the directory replicas so they resume
+    serving requests for orphaned objects (§5.1). *)
+
+val handle : t -> src:Types.node_id -> Zeus_net.Msg.payload -> bool
+(** Process one protocol message; [false] if the payload is not ours. *)
+
+val reset : t -> unit
+(** Fresh-incarnation reset for a rejoining node: drop all protocol state
+    (the crash-stop model of §3.1 — a returning node knows nothing).
+    Directory entries are re-learnt from subsequent arbitrations. *)
+
+(** Observability *)
+
+val latency_samples : t -> Zeus_sim.Stats.Samples.t
+(** Requester-observed latency of successful requests, µs. *)
+
+val requests_started : t -> int
+val requests_won : t -> int
+val requests_nacked : t -> int
+val requests_timed_out : t -> int
+val replays_started : t -> int
+
+val requests_driven : t -> int
+(** REQs this node served as a driver — the per-node directory load that
+    the distributed directory of §6.2 spreads. *)

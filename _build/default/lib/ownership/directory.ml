@@ -1,0 +1,64 @@
+open Zeus_store
+
+type pending = {
+  req_id : Messages.request_id;
+  o_ts : Ots.t;
+  base_ts : Ots.t;
+  new_replicas : Replicas.t;
+  kind : Messages.kind;
+  requester : Types.node_id;
+  arbiters : Types.node_id list;
+  data_from : Types.node_id option;
+  driving : bool;
+  born : float;
+}
+
+type entry = {
+  key : Types.key;
+  mutable o_state : Types.o_state;
+  mutable o_ts : Ots.t;
+  mutable replicas : Replicas.t;
+  mutable pending : pending option;
+}
+
+type t = { node : Types.node_id; entries : (Types.key, entry) Hashtbl.t }
+
+let create ~node = { node; entries = Hashtbl.create 1024 }
+let node t = t.node
+
+let register t key replicas =
+  if not (Hashtbl.mem t.entries key) then
+    Hashtbl.replace t.entries key
+      { key; o_state = Types.O_valid; o_ts = Ots.zero; replicas; pending = None }
+
+let forget t key = Hashtbl.remove t.entries key
+let find t key = Hashtbl.find_opt t.entries key
+let size t = Hashtbl.length t.entries
+let iter t fn = Hashtbl.iter (fun _ e -> fn e) t.entries
+
+let effective_ts entry =
+  match entry.pending with
+  | Some p when Ots.(p.o_ts > entry.o_ts) -> p.o_ts
+  | Some _ | None -> entry.o_ts
+
+let set_pending entry p =
+  entry.pending <- Some p;
+  entry.o_state <- (if p.driving then Types.O_drive else Types.O_invalid)
+
+let clear_pending entry =
+  entry.pending <- None;
+  entry.o_state <- Types.O_valid
+
+let apply_pending entry =
+  match entry.pending with
+  | None -> ()
+  | Some p ->
+    entry.o_ts <- p.o_ts;
+    entry.replicas <- p.new_replicas;
+    entry.pending <- None;
+    entry.o_state <- Types.O_valid
+
+let drop_dead t ~live =
+  Hashtbl.iter
+    (fun _ entry -> entry.replicas <- Replicas.drop_dead entry.replicas ~live)
+    t.entries

@@ -1,0 +1,78 @@
+open Zeus_store
+
+type kind = Acquire | Add_reader | Remove_reader of Types.node_id
+
+let pp_kind ppf = function
+  | Acquire -> Format.pp_print_string ppf "acquire"
+  | Add_reader -> Format.pp_print_string ppf "add-reader"
+  | Remove_reader n -> Format.fprintf ppf "remove-reader(n%d)" n
+
+type nack_reason = Busy | Lost_arbitration | Recovering | Unavailable | Unknown_key
+
+let pp_nack ppf = function
+  | Busy -> Format.pp_print_string ppf "busy"
+  | Lost_arbitration -> Format.pp_print_string ppf "lost-arbitration"
+  | Recovering -> Format.pp_print_string ppf "recovering"
+  | Unavailable -> Format.pp_print_string ppf "unavailable"
+  | Unknown_key -> Format.pp_print_string ppf "unknown-key"
+
+type request_id = { origin : Types.node_id; seq : int }
+type data_snapshot = { value : Value.t; t_version : int }
+
+type Zeus_net.Msg.payload +=
+  | O_req of {
+      req_id : request_id;
+      key : Types.key;
+      kind : kind;
+      requester : Types.node_id;
+      requester_has_data : bool;
+      epoch : int;
+    }
+  | O_inv of {
+      req_id : request_id;
+      key : Types.key;
+      o_ts : Ots.t;
+      base_ts : Ots.t;
+          (** the driver's applied [o_ts] when it stamped this request: an
+              arbiter holding a pending arbitration with exactly this
+              timestamp knows that arbitration won (the driver built on
+              it), and applies it before buffering this one *)
+      new_replicas : Replicas.t;
+      kind : kind;
+      requester : Types.node_id;
+      arbiters : Types.node_id list;
+      data_from : Types.node_id option;
+      recovery : bool;
+      driver : Types.node_id;
+      epoch : int;
+    }
+  | O_ack of {
+      req_id : request_id;
+      key : Types.key;
+      o_ts : Ots.t;
+      new_replicas : Replicas.t;
+      arbiters : Types.node_id list;
+      sender : Types.node_id;
+      data : data_snapshot option;
+      epoch : int;
+    }
+  | O_val of { key : Types.key; o_ts : Ots.t; epoch : int }
+  | O_nack of {
+      req_id : request_id;
+      key : Types.key;
+      o_ts : Ots.t option;
+      reason : nack_reason;
+      epoch : int;
+    }
+  | O_resp of {
+      req_id : request_id;
+      key : Types.key;
+      o_ts : Ots.t;
+      new_replicas : Replicas.t;
+      arbiters : Types.node_id list;
+      data : data_snapshot option;
+      epoch : int;
+    }
+  | O_recovery_done of { node : Types.node_id; epoch : int }
+  | O_register of { key : Types.key; replicas : Replicas.t }
+  | O_forget of { key : Types.key }

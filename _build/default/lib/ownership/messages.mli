@@ -1,0 +1,92 @@
+(** Wire messages of the reliable ownership protocol (§4, Figure 3). *)
+
+open Zeus_store
+
+(** What an ownership (sharding) request asks for (§4, §6.2). *)
+type kind =
+  | Acquire        (** requester becomes the owner (exclusive write access) *)
+  | Add_reader     (** requester becomes a reader (gets the data) *)
+  | Remove_reader of Types.node_id
+      (** reliably trim a reader, e.g. to restore the replication degree
+          after a non-replica acquired ownership (§6.2) *)
+
+val pp_kind : Format.formatter -> kind -> unit
+
+(** Why a request was NACKed. *)
+type nack_reason =
+  | Busy         (** object has a pending transaction or arbitration *)
+  | Lost_arbitration
+  | Recovering   (** owner died; reliable-commit recovery not yet drained *)
+  | Unavailable  (** no live replica holds the data *)
+  | Unknown_key
+
+val pp_nack : Format.formatter -> nack_reason -> unit
+
+type request_id = { origin : Types.node_id; seq : int }
+
+(** Data attached to the current owner's (or designated reader's) ACK when
+    the requester does not hold the object. *)
+type data_snapshot = { value : Value.t; t_version : int }
+
+type Zeus_net.Msg.payload +=
+  | O_req of {
+      req_id : request_id;
+      key : Types.key;
+      kind : kind;
+      requester : Types.node_id;
+      requester_has_data : bool;
+      epoch : int;
+    }
+  | O_inv of {
+      req_id : request_id;
+      key : Types.key;
+      o_ts : Ots.t;
+      base_ts : Ots.t;
+          (** the driver's applied [o_ts] when it stamped this request: an
+              arbiter holding a pending arbitration with exactly this
+              timestamp knows that arbitration won (the driver built on
+              it), and applies it before buffering this one *)
+      new_replicas : Replicas.t;
+      kind : kind;
+      requester : Types.node_id;
+      arbiters : Types.node_id list;  (** full arbiter set, for ACK counting *)
+      data_from : Types.node_id option;
+          (** which arbiter must attach the object data to its ACK *)
+      recovery : bool;  (** arb-replay: ACKs go to the driver, not requester *)
+      driver : Types.node_id;
+      epoch : int;
+    }
+  | O_ack of {
+      req_id : request_id;
+      key : Types.key;
+      o_ts : Ots.t;
+      new_replicas : Replicas.t;
+      arbiters : Types.node_id list;
+      sender : Types.node_id;
+      data : data_snapshot option;
+      epoch : int;
+    }
+  | O_val of { key : Types.key; o_ts : Ots.t; epoch : int }
+  | O_nack of {
+      req_id : request_id;
+      key : Types.key;
+      o_ts : Ots.t option;  (** set when arbiters must roll back a pending INV *)
+      reason : nack_reason;
+      epoch : int;
+    }
+  | O_resp of {
+      (* recovery only: the replay driver confirms the arbitration win to a
+         live requester, which must apply first and then VAL (§4.1). *)
+      req_id : request_id;
+      key : Types.key;
+      o_ts : Ots.t;
+      new_replicas : Replicas.t;
+      arbiters : Types.node_id list;
+      data : data_snapshot option;
+      epoch : int;
+    }
+  | O_recovery_done of { node : Types.node_id; epoch : int }
+  | O_register of { key : Types.key; replicas : Replicas.t }
+      (** object creation: install directory metadata (idempotent) *)
+  | O_forget of { key : Types.key }
+      (** object deletion: drop directory metadata *)

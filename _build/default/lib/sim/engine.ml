@@ -1,0 +1,81 @@
+type event = {
+  time : float;
+  seq : int;
+  fn : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type event_id = event
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable live : int;
+  mutable dispatched : int;
+  queue : event Heap.t;
+  root_rng : Rng.t;
+}
+
+let leq a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+
+let create ?(seed = 42L) () =
+  {
+    clock = 0.0;
+    seq = 0;
+    live = 0;
+    dispatched = 0;
+    queue = Heap.create ~leq;
+    root_rng = Rng.create seed;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+let fork_rng t = Rng.split t.root_rng
+
+let schedule_at t ~time fn =
+  let time = if time < t.clock then t.clock else time in
+  let ev = { time; seq = t.seq; fn; cancelled = false } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~after fn =
+  let after = if after < 0.0 then 0.0 else after in
+  schedule_at t ~time:(t.clock +. after) fn
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+let events_dispatched t = t.dispatched
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let stop = ref false in
+  while not !stop do
+    match Heap.peek t.queue with
+    | None -> stop := true
+    | Some ev when ev.cancelled ->
+      ignore (Heap.pop t.queue)
+    | Some ev ->
+      let past_deadline =
+        match until with Some u -> ev.time > u | None -> false
+      in
+      if past_deadline || !budget <= 0 then stop := true
+      else begin
+        ignore (Heap.pop t.queue);
+        t.live <- t.live - 1;
+        t.clock <- ev.time;
+        t.dispatched <- t.dispatched + 1;
+        decr budget;
+        ev.fn ()
+      end
+  done;
+  match until with
+  | Some u when t.clock < u && not (Heap.is_empty t.queue) -> t.clock <- u
+  | Some u when Heap.is_empty t.queue && t.clock < u -> ()
+  | _ -> ()

@@ -1,0 +1,45 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock (in microseconds) and a queue of timed
+    callbacks.  All protocol code in this repository is written against this
+    engine: "sending a message" or "doing work for [d] µs" schedules a
+    callback [d] µs in the virtual future.  Runs are deterministic: two runs
+    with the same seed execute the same event sequence. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine with clock at 0.  Default seed is 42. *)
+
+val now : t -> float
+(** Current virtual time in microseconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream. *)
+
+val fork_rng : t -> Rng.t
+(** An independent random stream derived from the engine's root stream. *)
+
+val schedule : t -> after:float -> (unit -> unit) -> event_id
+(** [schedule t ~after f] runs [f] at [now t +. max after 0.]. Events with
+    equal times fire in scheduling order. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+(** Absolute-time variant; times in the past fire "now". *)
+
+val cancel : t -> event_id -> unit
+(** Cancelling an already-fired or cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled (non-cancelled) events. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Dispatch events in time order until the queue drains, the clock passes
+    [until], or [max_events] events have fired.  The clock is left at the
+    time of the last dispatched event (or [until] if that bound stopped a
+    pending queue). *)
+
+val events_dispatched : t -> int

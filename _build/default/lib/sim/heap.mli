@@ -1,0 +1,18 @@
+(** Array-backed binary min-heap, used as the simulator's event queue. *)
+
+type 'a t
+
+val create : leq:('a -> 'a -> bool) -> 'a t
+(** [create ~leq] returns an empty heap ordered by [leq] (total preorder). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,29 @@
+(** FIFO multi-server resource.
+
+    Models a pool of identical servers (e.g. the datastore worker threads of
+    one node): jobs are served in arrival order, each occupying one server
+    for its service time.  Used to charge protocol-message processing and
+    transaction execution to finite CPU capacity, which is what produces
+    saturation throughput in the benchmarks. *)
+
+type t
+
+val create : Engine.t -> servers:int -> t
+(** [servers] must be positive. *)
+
+val servers : t -> int
+
+val submit : t -> service:float -> (unit -> unit) -> unit
+(** [submit t ~service k] enqueues a job taking [service] µs of one server's
+    time; [k] runs at completion. *)
+
+val busy : t -> int
+(** Servers currently serving a job. *)
+
+val queue_length : t -> int
+(** Jobs waiting for a server. *)
+
+val busy_time : t -> float
+(** Cumulative server-busy µs (for utilization = busy_time / (servers * elapsed)). *)
+
+val completed : t -> int

@@ -1,0 +1,1 @@
+lib/store/obj.ml: Format Ots Replicas Types Value

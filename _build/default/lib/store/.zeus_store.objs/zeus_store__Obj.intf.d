@@ -1,0 +1,1 @@
+lib/store/obj.mli: Format Ots Replicas Types Value

@@ -1,0 +1,1 @@
+lib/store/ots.ml: Format Stdlib Types

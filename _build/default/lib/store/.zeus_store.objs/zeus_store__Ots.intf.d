@@ -1,0 +1,1 @@
+lib/store/ots.mli: Format Types

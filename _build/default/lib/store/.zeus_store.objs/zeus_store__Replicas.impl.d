@@ -1,0 +1,1 @@
+lib/store/replicas.ml: Format List Types

@@ -1,0 +1,1 @@
+lib/store/replicas.mli: Format Types

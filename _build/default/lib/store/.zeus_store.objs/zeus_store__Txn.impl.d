@@ -1,0 +1,1 @@
+lib/store/txn.ml: Bytes Format Hashtbl List Obj Table Types Value

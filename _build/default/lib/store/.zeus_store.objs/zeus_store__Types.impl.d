@@ -1,0 +1,1 @@
+lib/store/types.ml: Format Zeus_net

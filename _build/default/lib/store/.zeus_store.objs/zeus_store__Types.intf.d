@@ -1,0 +1,1 @@
+lib/store/types.mli: Format Zeus_net

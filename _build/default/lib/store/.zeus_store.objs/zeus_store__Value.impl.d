@@ -1,0 +1,1 @@
+lib/store/value.ml: Bytes Int64 List

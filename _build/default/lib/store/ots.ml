@@ -1,0 +1,13 @@
+type t = { version : int; node : Types.node_id }
+
+let zero = { version = 0; node = -1 }
+
+let compare a b =
+  let c = Stdlib.compare a.version b.version in
+  if c <> 0 then c else Stdlib.compare a.node b.node
+
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let equal a b = compare a b = 0
+let next ts ~node = { version = ts.version + 1; node }
+let pp ppf t = Format.fprintf ppf "<%d,n%d>" t.version t.node

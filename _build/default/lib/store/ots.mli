@@ -1,0 +1,18 @@
+(** Ownership timestamps [o_ts = (obj_ver, node_id)] (§4).
+
+    Concurrent ownership requests are arbitrated lexicographically on these
+    timestamps: each driver proposes [(obj_ver + 1, its own node id)], so
+    two drivers can never propose equal timestamps for the same object. *)
+
+type t = { version : int; node : Types.node_id }
+
+val zero : t
+val compare : t -> t -> int
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val equal : t -> t -> bool
+
+val next : t -> node:Types.node_id -> t
+(** [next ts ~node] is [(ts.version + 1, node)]. *)
+
+val pp : Format.formatter -> t -> unit

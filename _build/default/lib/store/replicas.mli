@@ -1,0 +1,28 @@
+(** The [o_replicas] metadata: which node owns an object and which nodes
+    hold reader replicas (§4).  Stored at the directory and at the owner. *)
+
+type t = { owner : Types.node_id option; readers : Types.node_id list }
+
+val v : owner:Types.node_id -> readers:Types.node_id list -> t
+val no_owner : readers:Types.node_id list -> t
+
+val all : t -> Types.node_id list
+(** Owner (if any) followed by readers, no duplicates. *)
+
+val is_replica : t -> Types.node_id -> bool
+val is_owner : t -> Types.node_id -> bool
+val is_reader : t -> Types.node_id -> bool
+val count : t -> int
+
+val promote : t -> new_owner:Types.node_id -> t
+(** Ownership transfer: [new_owner] becomes owner; the previous owner (if
+    any, and if distinct) is demoted to reader; [new_owner] is removed from
+    the readers. *)
+
+val add_reader : t -> Types.node_id -> t
+val remove_reader : t -> Types.node_id -> t
+
+val drop_dead : t -> live:(Types.node_id -> bool) -> t
+(** Remove non-live nodes (membership reconfiguration, §4.1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+type t = { node : Types.node_id; objects : (Types.key, Obj.t) Hashtbl.t }
+
+let create ~node = { node; objects = Hashtbl.create 1024 }
+let node t = t.node
+let find t key = Hashtbl.find_opt t.objects key
+let mem t key = Hashtbl.mem t.objects key
+let get t key = match find t key with Some o -> o | None -> raise Not_found
+let install t obj = Hashtbl.replace t.objects obj.Obj.key obj
+let remove t key = Hashtbl.remove t.objects key
+let size t = Hashtbl.length t.objects
+let iter t fn = Hashtbl.iter (fun _ o -> fn o) t.objects
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.objects []

@@ -1,0 +1,19 @@
+(** One node's in-memory object table: every object for which the node is
+    owner or reader.  Non-replica objects have no entry. *)
+
+type t
+
+val create : node:Types.node_id -> t
+val node : t -> Types.node_id
+val find : t -> Types.key -> Obj.t option
+val mem : t -> Types.key -> bool
+val get : t -> Types.key -> Obj.t
+(** @raise Not_found when the node is a non-replica for the key. *)
+
+val install : t -> Obj.t -> unit
+(** Insert or replace the node's copy of an object. *)
+
+val remove : t -> Types.key -> unit
+val size : t -> int
+val iter : t -> (Obj.t -> unit) -> unit
+val keys : t -> Types.key list

@@ -1,0 +1,224 @@
+type abort_reason =
+  | Lock_conflict of Types.key
+  | Invalidated of Types.key
+  | Not_replica of Types.key
+  | Ownership_refused of Types.key
+  | Node_dead
+
+let pp_abort ppf = function
+  | Lock_conflict k -> Format.fprintf ppf "lock-conflict(#%d)" k
+  | Invalidated k -> Format.fprintf ppf "invalidated(#%d)" k
+  | Not_replica k -> Format.fprintf ppf "not-replica(#%d)" k
+  | Ownership_refused k -> Format.fprintf ppf "ownership-refused(#%d)" k
+  | Node_dead -> Format.fprintf ppf "node-dead"
+
+type outcome = Committed | Aborted of abort_reason
+
+type update = { key : Types.key; version : int; data : Value.t; freed : bool }
+
+type t = {
+  table : Table.t;
+  thread : int;
+  read_only : bool;
+  (* write txn state *)
+  mutable locked : Types.key list;       (* locks taken, newest first *)
+  copies : (Types.key, Value.t) Hashtbl.t;  (* private copies (open_write) *)
+  mutable creates : (Types.key * Value.t) list;
+  mutable frees : Types.key list;
+  (* read-only txn state: (key, version) snapshots *)
+  mutable snapshots : (Types.key * int) list;
+  mutable finished : bool;
+}
+
+let create ~read_only table ~thread =
+  {
+    table;
+    thread;
+    read_only;
+    locked = [];
+    copies = Hashtbl.create 8;
+    creates = [];
+    frees = [];
+    snapshots = [];
+    finished = false;
+  }
+
+let create_write table ~thread = create ~read_only:false table ~thread
+let create_read table ~thread = create ~read_only:true table ~thread
+let is_read_only t = t.read_only
+let thread t = t.thread
+
+let release_locks t =
+  List.iter
+    (fun key ->
+      match Table.find t.table key with
+      | Some obj -> Obj.unlock obj ~thread:t.thread
+      | None -> ())
+    t.locked;
+  t.locked <- []
+
+let abort t =
+  if not t.finished then begin
+    t.finished <- true;
+    release_locks t;
+    Hashtbl.reset t.copies
+  end
+
+let fail t reason =
+  abort t;
+  Error reason
+
+let take_lock t obj =
+  let key = obj.Obj.key in
+  if List.mem key t.locked then Ok ()
+  else if Obj.can_lock obj ~thread:t.thread then begin
+    Obj.lock obj ~thread:t.thread;
+    t.locked <- key :: t.locked;
+    Ok ()
+  end
+  else Error (Lock_conflict key)
+
+let created_value t key =
+  List.assoc_opt key t.creates
+
+let open_read t key =
+  assert (not t.finished);
+  match created_value t key with
+  | Some v -> Ok v
+  | None ->
+    (match Table.find t.table key with
+    | None -> fail t (Not_replica key)
+    | Some obj ->
+      if t.read_only then begin
+        (* A reader must not return a value with a pending reliable commit. *)
+        if obj.Obj.t_state <> Types.T_valid then fail t (Invalidated key)
+        else begin
+          t.snapshots <- (key, obj.Obj.t_version) :: t.snapshots;
+          Ok obj.Obj.data
+        end
+      end
+      else begin
+        match take_lock t obj with
+        | Error reason -> fail t reason
+        | Ok () ->
+          (match Hashtbl.find_opt t.copies key with
+          | Some copy -> Ok copy
+          | None -> Ok obj.Obj.data)
+      end)
+
+let open_write t key =
+  assert (not t.finished);
+  assert (not t.read_only);
+  match created_value t key with
+  | Some v -> Ok v
+  | None ->
+    (match Table.find t.table key with
+    | None -> fail t (Not_replica key)
+    | Some obj ->
+      (match take_lock t obj with
+      | Error reason -> fail t reason
+      | Ok () ->
+        (match Hashtbl.find_opt t.copies key with
+        | Some copy -> Ok copy
+        | None ->
+          let copy = Bytes.copy obj.Obj.data in
+          Hashtbl.replace t.copies key copy;
+          Ok copy)))
+
+let put t key data =
+  assert (not t.finished);
+  assert (not t.read_only);
+  if List.mem_assoc key t.creates then
+    t.creates <- (key, data) :: List.remove_assoc key t.creates
+  else begin
+    assert (List.mem key t.locked);
+    Hashtbl.replace t.copies key data
+  end
+
+let create_obj t key data =
+  assert (not t.finished);
+  assert (not t.read_only);
+  t.creates <- (key, data) :: t.creates
+
+let free_obj t key =
+  assert (not t.finished);
+  assert (not t.read_only);
+  if List.mem_assoc key t.creates then begin
+    t.creates <- List.remove_assoc key t.creates;
+    Ok ()
+  end
+  else begin
+    match Table.find t.table key with
+    | None -> fail t (Not_replica key)
+    | Some obj ->
+      (match take_lock t obj with
+      | Error reason -> fail t reason
+      | Ok () ->
+        t.frees <- key :: t.frees;
+        Ok ())
+  end
+
+let written t key =
+  Hashtbl.mem t.copies key || List.mem_assoc key t.creates || List.mem key t.frees
+
+let commit_read_only t =
+  let ok =
+    List.for_all
+      (fun (key, version) ->
+        match Table.find t.table key with
+        | Some obj ->
+          obj.Obj.t_state = Types.T_valid && obj.Obj.t_version = version
+        | None -> false)
+      t.snapshots
+  in
+  if ok then begin
+    t.finished <- true;
+    Ok []
+  end
+  else begin
+    let key = match t.snapshots with (k, _) :: _ -> k | [] -> -1 in
+    fail t (Invalidated key)
+  end
+
+let publish t obj data ~freed =
+  obj.Obj.data <- data;
+  obj.Obj.t_version <- obj.Obj.t_version + 1;
+  obj.Obj.t_state <- Types.T_write;
+  obj.Obj.pending_rc <- obj.Obj.pending_rc + 1;
+  obj.Obj.last_writer_thread <- t.thread;
+  Obj.unlock obj ~thread:t.thread;
+  { key = obj.Obj.key; version = obj.Obj.t_version; data; freed }
+
+let commit_write t =
+  let updates = ref [] in
+  (* Publish private copies (skip objects that are also freed). *)
+  Hashtbl.iter
+    (fun key data ->
+      if not (List.mem key t.frees) then begin
+        let obj = Table.get t.table key in
+        updates := publish t obj data ~freed:false :: !updates
+      end)
+    t.copies;
+  (* Freed objects: bump version, mark freed; removed once replicated. *)
+  List.iter
+    (fun key ->
+      let obj = Table.get t.table key in
+      updates := publish t obj obj.Obj.data ~freed:true :: !updates)
+    t.frees;
+  (* Created objects: installed as owned, version 1, pending replication. *)
+  List.iter
+    (fun (key, data) ->
+      let obj = Obj.create ~key ~role:Types.Owner ~version:1 data in
+      obj.Obj.t_state <- Types.T_write;
+      obj.Obj.pending_rc <- 1;
+      obj.Obj.last_writer_thread <- t.thread;
+      Table.install t.table obj;
+      updates := { key; version = 1; data; freed = false } :: !updates)
+    t.creates;
+  release_locks t;
+  t.finished <- true;
+  Ok !updates
+
+let local_commit t =
+  assert (not t.finished);
+  if t.read_only then commit_read_only t else commit_write t

@@ -1,0 +1,67 @@
+(** Local transactional memory (§7): the single-node half of a Zeus
+    transaction.
+
+    A write transaction takes thread-local ownership of every object it
+    opens (the "simplified, local version of the ownership protocol" of §3),
+    mutates {e private copies} only — which gives opacity (§6.2) — and on
+    [local_commit] publishes all copies atomically: data swapped in,
+    [t_version] bumped, [t_state = Write], and the object accounted to this
+    thread's reliable-commit pipeline.  Securing the {e node-level}
+    ownership of objects before opening them is the caller's job
+    ({!Zeus_core.Node} does it via the ownership protocol).
+
+    A read-only transaction (§5.3) buffers [(t_version, t_data)] snapshots
+    at open time and verifies at commit that every object is still [Valid]
+    with an unchanged version. *)
+
+type abort_reason =
+  | Lock_conflict of Types.key   (** another thread holds local ownership *)
+  | Invalidated of Types.key     (** read-only: pending reliable commit *)
+  | Not_replica of Types.key     (** object not stored on this node *)
+  | Ownership_refused of Types.key  (** node-level ownership NACKed (set by core) *)
+  | Node_dead                    (** coordinator crashed mid-transaction *)
+
+val pp_abort : Format.formatter -> abort_reason -> unit
+
+type outcome = Committed | Aborted of abort_reason
+
+type t
+
+val create_write : Table.t -> thread:int -> t
+val create_read : Table.t -> thread:int -> t
+val is_read_only : t -> bool
+val thread : t -> int
+
+val open_read : t -> Types.key -> (Value.t, abort_reason) result
+(** In a write transaction this also takes the local lock (strict 2PL); in a
+    read-only transaction it snapshots [(version, data)]. *)
+
+val open_write : t -> Types.key -> (Value.t, abort_reason) result
+(** Take the local lock and return the transaction-private copy. *)
+
+val put : t -> Types.key -> Value.t -> unit
+(** Replace the private copy of an object previously opened for write. *)
+
+val create_obj : t -> Types.key -> Value.t -> unit
+(** [malloc]: a new object owned by this node, visible after commit. *)
+
+val free_obj : t -> Types.key -> (unit, abort_reason) result
+(** [free]: delete an object (requires write access). *)
+
+val written : t -> Types.key -> bool
+
+(** Updates published by a local commit, to be replicated. *)
+type update = {
+  key : Types.key;
+  version : int;
+  data : Value.t;
+  freed : bool;
+}
+
+val local_commit : t -> (update list, abort_reason) result
+(** Atomically publish the transaction.  For a read-only transaction this is
+    the validation step and the update list is empty.  On [Error] the
+    transaction has been aborted and all its locks released. *)
+
+val abort : t -> unit
+(** Release locks and discard private copies. *)

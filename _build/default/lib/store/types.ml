@@ -1,0 +1,20 @@
+type key = int
+type node_id = Zeus_net.Msg.node_id
+type o_state = O_valid | O_invalid | O_request | O_drive
+type t_state = T_valid | T_invalid | T_write
+type role = Owner | Reader
+
+let pp_o_state ppf = function
+  | O_valid -> Format.pp_print_string ppf "Valid"
+  | O_invalid -> Format.pp_print_string ppf "Invalid"
+  | O_request -> Format.pp_print_string ppf "Request"
+  | O_drive -> Format.pp_print_string ppf "Drive"
+
+let pp_t_state ppf = function
+  | T_valid -> Format.pp_print_string ppf "Valid"
+  | T_invalid -> Format.pp_print_string ppf "Invalid"
+  | T_write -> Format.pp_print_string ppf "Write"
+
+let pp_role ppf = function
+  | Owner -> Format.pp_print_string ppf "Owner"
+  | Reader -> Format.pp_print_string ppf "Reader"

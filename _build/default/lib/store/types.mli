@@ -1,0 +1,26 @@
+(** Shared store vocabulary: keys, states and access levels (§4, §5). *)
+
+type key = int
+
+type node_id = Zeus_net.Msg.node_id
+
+(** Ownership state of an object at an arbiter (§4). *)
+type o_state =
+  | O_valid
+  | O_invalid  (** arbitration of an ownership request is pending *)
+  | O_request  (** this node has an outstanding request for the object *)
+  | O_drive    (** this directory node is driving a request *)
+
+(** Transactional state of a replica's copy (§5). *)
+type t_state =
+  | T_valid
+  | T_invalid  (** follower: a reliable commit is pending *)
+  | T_write    (** owner: locally committed, reliable commit in flight *)
+
+(** Access level of this node for an object (non-replicas simply have no
+    entry in the table). *)
+type role = Owner | Reader
+
+val pp_o_state : Format.formatter -> o_state -> unit
+val pp_t_state : Format.formatter -> t_state -> unit
+val pp_role : Format.formatter -> role -> unit

@@ -1,0 +1,32 @@
+type t = bytes
+
+let empty = Bytes.create 0
+let of_string s = Bytes.of_string s
+let to_string b = Bytes.to_string b
+
+let of_ints ints =
+  let n = List.length ints in
+  let b = Bytes.create (8 * n) in
+  List.iteri (fun i v -> Bytes.set_int64_le b (8 * i) (Int64.of_int v)) ints;
+  b
+
+let to_ints b =
+  let n = Bytes.length b / 8 in
+  List.init n (fun i -> Int64.to_int (Bytes.get_int64_le b (8 * i)))
+
+let of_int v = of_ints [ v ]
+
+let to_int b =
+  match to_ints b with
+  | v :: _ -> v
+  | [] -> invalid_arg "Value.to_int: empty value"
+
+let padded fields ~size =
+  let base = of_ints fields in
+  let len = max size (Bytes.length base) in
+  let b = Bytes.make len '\000' in
+  Bytes.blit base 0 b 0 (Bytes.length base);
+  b
+
+let size = Bytes.length
+let equal = Bytes.equal

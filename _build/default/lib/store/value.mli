@@ -1,0 +1,22 @@
+(** Object values are opaque byte strings (the datastore stores memory
+    objects, §7).  These helpers encode the small records the benchmarks
+    store without pulling in a serialization library. *)
+
+type t = bytes
+
+val empty : t
+val of_string : string -> t
+val to_string : t -> string
+val of_int : int -> t
+val to_int : t -> int
+
+val of_ints : int list -> t
+val to_ints : t -> int list
+
+val padded : int list -> size:int -> t
+(** [padded fields ~size] encodes [fields] then pads with zero bytes up to
+    [size] — used to model the paper's large objects (e.g. 400 B cellular
+    contexts) while keeping the fields decodable. *)
+
+val size : t -> int
+val equal : t -> t -> bool

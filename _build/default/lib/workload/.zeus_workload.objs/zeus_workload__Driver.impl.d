@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Format List Option Zeus_core Zeus_sim

@@ -1,0 +1,1 @@
+lib/workload/handover.ml: List Spec Zeus_sim Zeus_store

@@ -1,0 +1,1 @@
+lib/workload/handover.mli: Spec Zeus_sim Zeus_store

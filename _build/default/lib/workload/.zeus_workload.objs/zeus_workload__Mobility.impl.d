@@ -1,0 +1,1 @@
+lib/workload/mobility.ml: Float List Zeus_sim

@@ -1,0 +1,1 @@
+lib/workload/mobility.mli: Zeus_sim

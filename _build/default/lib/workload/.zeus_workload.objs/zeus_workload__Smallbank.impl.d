@@ -1,0 +1,1 @@
+lib/workload/smallbank.ml: Spec Zeus_sim Zeus_store

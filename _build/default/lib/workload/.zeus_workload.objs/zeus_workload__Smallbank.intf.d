@@ -1,0 +1,1 @@
+lib/workload/smallbank.mli: Spec Zeus_sim Zeus_store

@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Zeus_core Zeus_store

@@ -1,0 +1,1 @@
+lib/workload/spec.mli: Zeus_core Zeus_store

@@ -1,0 +1,1 @@
+lib/workload/tatp.ml: Spec Zeus_sim Zeus_store

@@ -1,0 +1,1 @@
+lib/workload/tatp.mli: Spec Zeus_sim Zeus_store

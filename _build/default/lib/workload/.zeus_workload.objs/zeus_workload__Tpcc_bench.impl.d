@@ -1,0 +1,1 @@
+lib/workload/tpcc_bench.ml: List Spec Zeus_core Zeus_sim Zeus_store

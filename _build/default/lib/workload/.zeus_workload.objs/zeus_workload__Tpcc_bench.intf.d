@@ -1,0 +1,1 @@
+lib/workload/tpcc_bench.mli: Spec Zeus_core Zeus_sim Zeus_store

@@ -1,0 +1,1 @@
+lib/workload/venmo.ml: Zeus_sim

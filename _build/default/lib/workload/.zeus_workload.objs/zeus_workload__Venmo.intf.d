@@ -1,0 +1,1 @@
+lib/workload/venmo.mli: Zeus_sim

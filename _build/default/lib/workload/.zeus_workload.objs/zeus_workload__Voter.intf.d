@@ -1,0 +1,1 @@
+lib/workload/voter.mli: Spec Zeus_sim Zeus_store

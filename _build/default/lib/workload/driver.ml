@@ -1,0 +1,77 @@
+module Engine = Zeus_sim.Engine
+module Cluster = Zeus_core.Cluster
+module Node = Zeus_core.Node
+
+type result = {
+  committed : int;
+  aborted : int;
+  duration_us : float;
+  mtps : float;
+  abort_rate : float;
+  lat_p50_us : float;
+  lat_p99_us : float;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf "%.3f Mtps (%d committed, %d aborted, %.1f%% aborts, p50 %.1fus, p99 %.1fus)"
+    r.mtps r.committed r.aborted (100.0 *. r.abort_rate) r.lat_p50_us r.lat_p99_us
+
+let run cluster ?nodes ?threads ~warmup_us ~duration_us ~issue () =
+  let engine = Cluster.engine cluster in
+  let config = Cluster.config cluster in
+  let node_ids =
+    match nodes with
+    | Some ns -> ns
+    | None -> List.init (Cluster.nodes cluster) (fun i -> i)
+  in
+  let threads = Option.value threads ~default:config.Zeus_core.Config.app_threads in
+  let t0 = Engine.now engine in
+  let start = t0 +. warmup_us in
+  let stop = start +. duration_us in
+  let committed = ref 0 and aborted = ref 0 in
+  let latencies =
+    Zeus_sim.Stats.Samples.create ~cap:50_000 (Engine.fork_rng engine)
+  in
+  List.iter
+    (fun id ->
+      let node = Cluster.node cluster id in
+      for thread = 0 to threads - 1 do
+        let seq = ref 0 in
+        let rec loop () =
+          if Engine.now engine < stop && Node.is_alive node then begin
+            let s = !seq in
+            incr seq;
+            let issued_at = Engine.now engine in
+            issue node ~thread ~seq:s (fun ok ->
+                let now = Engine.now engine in
+                if now >= start && now < stop then begin
+                  if ok then begin
+                    incr committed;
+                    Zeus_sim.Stats.Samples.add latencies (now -. issued_at)
+                  end
+                  else incr aborted
+                end;
+                loop ())
+          end
+        in
+        (* Stagger thread start to avoid artificial phase locking. *)
+        ignore
+          (Engine.schedule engine
+             ~after:(0.01 *. float_of_int ((id * threads) + thread))
+             loop)
+      done)
+    node_ids;
+  Engine.run ~until:stop engine;
+  (* Drain in-flight transactions and replication without counting them. *)
+  Engine.run ~until:(stop +. 5_000.0) engine;
+  let c = !committed and a = !aborted in
+  {
+    committed = c;
+    aborted = a;
+    duration_us;
+    mtps = float_of_int c /. duration_us;
+    abort_rate =
+      (if c + a = 0 then 0.0 else float_of_int a /. float_of_int (c + a));
+    lat_p50_us = Zeus_sim.Stats.Samples.percentile latencies 50.0;
+    lat_p99_us = Zeus_sim.Stats.Samples.percentile latencies 99.0;
+  }

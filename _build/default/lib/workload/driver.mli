@@ -1,0 +1,31 @@
+(** Closed-loop load driver.
+
+    Models the paper's setup of "enough colocated clients to saturate each
+    evaluated system" (§8): every app thread of every participating node
+    issues transactions back-to-back.  Only completions inside the
+    measurement window (after warm-up) are counted. *)
+
+type result = {
+  committed : int;
+  aborted : int;
+  duration_us : float;
+  mtps : float;          (** committed transactions per µs × 10⁶ / 10⁶ = Mtps *)
+  abort_rate : float;
+  lat_p50_us : float;    (** committed-transaction latency percentiles *)
+  lat_p99_us : float;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  Zeus_core.Cluster.t ->
+  ?nodes:int list ->
+  ?threads:int ->
+  warmup_us:float ->
+  duration_us:float ->
+  issue:(Zeus_core.Node.t -> thread:int -> seq:int -> (bool -> unit) -> unit) ->
+  unit ->
+  result
+(** [issue node ~thread ~seq done_] must run exactly one transaction and
+    call [done_ committed] at its completion.  [nodes] defaults to all,
+    [threads] to the configured app threads per node. *)

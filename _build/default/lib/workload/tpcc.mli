@@ -1,0 +1,25 @@
+(** Analytical TPC-C locality model (§8 "Locality in workloads").
+
+    TPC-C is analysed, not executed (the paper defers running it because
+    Zeus lacks range queries; so do we — documented in DESIGN.md).  With
+    warehouse-partitioned sharding only New-Order (1 % of item lines hit a
+    remote warehouse) and Payment (15 % of customer look-ups are remote)
+    can touch remote data.  Two metrics:
+    - fraction of {e transactions} touching any remote object;
+    - fraction of {e accesses} that are remote (the metric closest to the
+      paper's reported 2.45 %, since an ownership request is per object). *)
+
+val new_order_weight : float
+val payment_weight : float
+
+val remote_txn_fraction :
+  ?remote_item_prob:float -> ?items_per_order:int -> ?remote_customer_prob:float -> unit -> float
+
+val remote_access_fraction :
+  ?remote_item_prob:float ->
+  ?items_per_order:int ->
+  ?accesses_per_new_order:int ->
+  ?accesses_per_payment:int ->
+  ?remote_customer_prob:float ->
+  unit ->
+  float

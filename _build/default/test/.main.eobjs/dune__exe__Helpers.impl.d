@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Format Option Zeus_core Zeus_store

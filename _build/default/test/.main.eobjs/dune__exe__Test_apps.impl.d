@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Float Helpers List Zeus_apps Zeus_sim

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Helpers List Zeus_baseline Zeus_sim Zeus_workload

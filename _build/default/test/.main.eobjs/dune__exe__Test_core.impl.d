@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Helpers List Option Printf Zeus_core Zeus_net Zeus_sim Zeus_store

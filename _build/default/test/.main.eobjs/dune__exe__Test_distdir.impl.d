@@ -1,0 +1,1 @@
+test/test_distdir.ml: Alcotest Hashtbl Helpers List Zeus_core Zeus_ownership Zeus_sim Zeus_store

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Helpers List Zeus_core Zeus_net Zeus_sim Zeus_store

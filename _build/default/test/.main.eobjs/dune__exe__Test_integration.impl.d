@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Helpers List Zeus_core Zeus_net Zeus_sim Zeus_store Zeus_workload

@@ -1,0 +1,1 @@
+test/test_lb.ml: Alcotest Array Helpers List Option Printf Zeus_lb Zeus_net Zeus_sim Zeus_store

@@ -1,0 +1,1 @@
+test/test_membership.ml: Alcotest Helpers List Zeus_membership Zeus_net Zeus_sim

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Helpers List Zeus_net Zeus_sim

@@ -1,0 +1,1 @@
+test/test_ownership.ml: Alcotest Helpers List Option Zeus_core Zeus_ownership Zeus_sim Zeus_store

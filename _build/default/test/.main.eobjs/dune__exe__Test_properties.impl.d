@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Gen Helpers Int64 List Printf QCheck QCheck_alcotest Zeus_core Zeus_net Zeus_sim Zeus_store Zeus_workload

@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Helpers Int64 List Zeus_core Zeus_net Zeus_sim Zeus_store

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Helpers Int64 List QCheck QCheck_alcotest Zeus_sim

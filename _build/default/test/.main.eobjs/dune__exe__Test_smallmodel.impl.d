@@ -1,0 +1,1 @@
+test/test_smallmodel.ml: Alcotest Helpers List Printf Zeus_core Zeus_net Zeus_sim Zeus_store

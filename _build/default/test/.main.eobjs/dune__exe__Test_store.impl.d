@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Helpers List Obj Ots Replicas Table Txn Types Value Zeus_store

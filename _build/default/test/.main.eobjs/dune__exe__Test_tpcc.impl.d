@@ -1,0 +1,1 @@
+test/test_tpcc.ml: Alcotest Helpers List Zeus_baseline Zeus_core Zeus_sim Zeus_store Zeus_workload

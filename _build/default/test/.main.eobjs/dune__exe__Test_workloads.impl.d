@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Helpers List Zeus_core Zeus_sim Zeus_store Zeus_workload

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "zeus"
+    [
+      ("sim", Test_sim.suite);
+      ("net", Test_net.suite);
+      ("membership", Test_membership.suite);
+      ("store", Test_store.suite);
+      ("ownership", Test_ownership.suite);
+      ("commit", Test_commit.suite);
+      ("core", Test_core.suite);
+      ("lb", Test_lb.suite);
+      ("baseline", Test_baseline.suite);
+      ("workloads", Test_workloads.suite);
+      ("apps", Test_apps.suite);
+      ("integration", Test_integration.suite);
+      ("smallmodel", Test_smallmodel.suite);
+      ("edge", Test_edge.suite);
+      ("model", Test_model.suite);
+      ("distdir", Test_distdir.suite);
+      ("regressions", Test_regressions.suite);
+      ("tpcc", Test_tpcc.suite);
+      ("experiments", Test_experiments.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,122 @@
+(* Tests for the legacy-application models (§8.5) and their harness. *)
+
+module Engine = Zeus_sim.Engine
+module Gateway = Zeus_apps.Gateway
+module Sctp = Zeus_apps.Sctp
+module Nginx = Zeus_apps.Nginx
+module Harness = Zeus_apps.Harness
+
+let tc = Helpers.tc
+let check = Alcotest.check
+
+(* ---------- harness ---------- *)
+
+let generator_rate () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let g = Harness.Generator.create e ~rate_per_us:0.1 ~sink:(fun ~seq:_ -> incr count) in
+  Harness.Generator.start g;
+  Engine.run ~until:10_000.0 e;
+  Harness.Generator.stop g;
+  (* ~1000 arrivals expected; Poisson, allow wide band *)
+  if !count < 800 || !count > 1_200 then Alcotest.failf "arrivals %d" !count
+
+let worker_serializes () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let w =
+    Harness.Worker.create e ~serve:(fun req k ->
+        ignore
+          (Engine.schedule e ~after:10.0 (fun () ->
+               order := req :: !order;
+               k ())))
+  in
+  Harness.Worker.push w 1;
+  Harness.Worker.push w 2;
+  Harness.Worker.push w 3;
+  check Alcotest.int "queued behind head" 2 (Harness.Worker.queue_length w);
+  Engine.run e;
+  check Alcotest.(list int) "in order" [ 1; 2; 3 ] (List.rev !order);
+  check Alcotest.int "completed" 3 (Harness.Worker.completed w)
+
+(* ---------- gateway (fig 13 shape) ---------- *)
+
+let gateway_config = { Gateway.default_config with Gateway.duration_us = 30_000.0 }
+
+let gateway_modes_ordering () =
+  let local = (Gateway.run ~config:gateway_config `No_store).Gateway.ktps in
+  let redis = (Gateway.run ~config:gateway_config (`Remote_store 120.0)).Gateway.ktps in
+  let zeus1 = (Gateway.run ~config:gateway_config (`Zeus 1)).Gateway.ktps in
+  let zeus2 = (Gateway.run ~config:gateway_config (`Zeus 2)).Gateway.ktps in
+  if redis >= 10.0 then Alcotest.failf "redis too fast: %.1f" redis;
+  if Float.abs (zeus1 -. local) /. local > 0.10 then
+    Alcotest.failf "zeus1 %.1f should match local %.1f" zeus1 local;
+  if zeus2 < 1.3 *. zeus1 then
+    Alcotest.failf "two active nodes should scale: %.1f vs %.1f" zeus2 zeus1
+
+let gateway_offered_bound () =
+  let r = Gateway.run ~config:gateway_config (`Zeus 2) in
+  if r.Gateway.ktps > r.Gateway.offered_ktps +. 1.0 then
+    Alcotest.fail "cannot exceed the generator"
+
+(* ---------- sctp (fig 14 shape) ---------- *)
+
+let sctp_config = { Sctp.default_config with Sctp.duration_us = 20_000.0 }
+
+let sctp_zeus_slower () =
+  let v = (Sctp.run ~config:sctp_config ~mode:`Vanilla 4096).Sctp.mbps in
+  let z = (Sctp.run ~config:sctp_config ~mode:`Zeus 4096).Sctp.mbps in
+  if z >= v then Alcotest.failf "replication cannot be free: %.0f vs %.0f" z v;
+  let gap = 1.0 -. (z /. v) in
+  if gap < 0.2 || gap > 0.75 then Alcotest.failf "gap %.2f out of band" gap
+
+let sctp_gap_shrinks_with_size () =
+  let gap size =
+    let v = (Sctp.run ~config:sctp_config ~mode:`Vanilla size).Sctp.mbps in
+    let z = (Sctp.run ~config:sctp_config ~mode:`Zeus size).Sctp.mbps in
+    1.0 -. (z /. v)
+  in
+  let small = gap 256 and large = gap 16384 in
+  if small <= large then
+    Alcotest.failf "gap should shrink with size: small %.2f large %.2f" small large
+
+let sctp_throughput_grows_with_size () =
+  let t size = (Sctp.run ~config:sctp_config ~mode:`Zeus size).Sctp.mbps in
+  if t 16384 <= t 256 then Alcotest.fail "bigger packets, more Mbps"
+
+(* ---------- nginx (fig 15 shape) ---------- *)
+
+let nginx_config = { Nginx.default_config with Nginx.phase_us = 30_000.0 }
+
+let nginx_zeus_matches_plain () =
+  let z = (Nginx.run ~config:nginx_config ~with_zeus:true ()).Nginx.total_krps in
+  let p = (Nginx.run ~config:nginx_config ~with_zeus:false ()).Nginx.total_krps in
+  if Float.abs (z -. p) /. p > 0.10 then
+    Alcotest.failf "zeus %.1f should match plain %.1f" z p
+
+let nginx_scales_out_and_in () =
+  let r = Nginx.run ~config:nginx_config ~with_zeus:true () in
+  let phase_rate lo hi =
+    let pts = List.filter (fun (t, _) -> t >= lo && t < hi) r.Nginx.timeline in
+    let n = List.length pts in
+    if n = 0 then 0.0
+    else List.fold_left (fun a (_, v) -> a +. v) 0.0 pts /. float_of_int n
+  in
+  let p1 = phase_rate 5.0 28.0 in
+  let p2 = phase_rate 35.0 58.0 in
+  let p3 = phase_rate 65.0 88.0 in
+  if p2 < 1.4 *. p1 then Alcotest.failf "scale-out invisible: %.1f -> %.1f" p1 p2;
+  if p3 > 1.2 *. p1 then Alcotest.failf "scale-in invisible: %.1f -> %.1f" p1 p3
+
+let suite =
+  [
+    tc "harness: generator rate" generator_rate;
+    tc "harness: worker FIFO" worker_serializes;
+    tc "gateway: mode ordering (fig13 shape)" gateway_modes_ordering;
+    tc "gateway: bounded by offered load" gateway_offered_bound;
+    tc "sctp: replication costs throughput" sctp_zeus_slower;
+    tc "sctp: relative gap shrinks with packet size" sctp_gap_shrinks_with_size;
+    tc "sctp: throughput grows with packet size" sctp_throughput_grows_with_size;
+    tc "nginx: zeus matches no-datastore" nginx_zeus_matches_plain;
+    tc "nginx: scale-out and scale-in visible" nginx_scales_out_and_in;
+  ]

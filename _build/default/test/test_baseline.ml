@@ -1,0 +1,96 @@
+(* Tests for the baseline OCC/2PC distributed-commit engine. *)
+
+module Engine = Zeus_sim.Engine
+module B = Zeus_baseline
+module Spec = Zeus_workload.Spec
+
+let tc = Helpers.tc
+let check = Alcotest.check
+
+let setup ?(profile = B.Profile.fasst) () =
+  B.Engine.create ~profile ~primary_of:(fun k -> k mod 3) ()
+
+let submit_sync eng ~home spec =
+  let result = ref None in
+  B.Engine.submit eng ~home spec (fun ok -> result := Some ok);
+  Engine.run (B.Engine.engine eng);
+  match !result with Some ok -> ok | None -> Alcotest.fail "txn never finished"
+
+let local_txn_commits () =
+  let eng = setup () in
+  check Alcotest.bool "local" true (submit_sync eng ~home:0 (Spec.write_txn [ 0; 3 ]));
+  check Alcotest.int "committed" 1 (B.Engine.committed eng)
+
+let remote_txn_commits () =
+  let eng = setup () in
+  check Alcotest.bool "remote" true (submit_sync eng ~home:0 (Spec.write_txn [ 1; 2 ]));
+  check Alcotest.bool "reads too" true
+    (submit_sync eng ~home:0 (Spec.write_txn ~reads:[ 4; 5 ] [ 1 ]))
+
+let read_only_txn () =
+  let eng = setup () in
+  check Alcotest.bool "ro" true (submit_sync eng ~home:0 (Spec.read_txn [ 1; 2; 3 ]))
+
+let conflicting_txns_serialize () =
+  (* many concurrent increments of the same remote keys: all must commit
+     eventually (retries) and the version must equal the commit count *)
+  let eng = setup () in
+  let e = B.Engine.engine eng in
+  let remaining = ref 30 in
+  for i = 0 to 29 do
+    ignore
+      (Engine.schedule e ~after:(float_of_int i *. 0.1) (fun () ->
+           B.Engine.submit eng ~home:(i mod 3) (Spec.write_txn [ 7 ]) (fun ok ->
+               if ok then decr remaining)))
+  done;
+  Engine.run e;
+  check Alcotest.int "all committed after retries" 0 !remaining
+
+let profiles_all_run () =
+  List.iter
+    (fun profile ->
+      let eng = setup ~profile () in
+      check Alcotest.bool profile.B.Profile.name true
+        (submit_sync eng ~home:0 (Spec.write_txn ~reads:[ 1 ] [ 2; 4 ])))
+    [ B.Profile.fasst; B.Profile.farm; B.Profile.drtm ]
+
+let load_run_produces_throughput () =
+  let eng = setup () in
+  let rng = Zeus_sim.Rng.create 4L in
+  let r =
+    B.Engine.run_load eng ~coroutines:8 ~warmup_us:200.0 ~duration_us:2_000.0
+      ~gen:(fun ~home ->
+        Spec.write_txn [ (home + Zeus_sim.Rng.int rng 100) * 3 ])
+      ()
+  in
+  check Alcotest.bool "nonzero throughput" true (r.Zeus_workload.Driver.mtps > 0.0)
+
+let remote_txns_slower_than_local () =
+  let profile = B.Profile.fasst in
+  let local = B.Engine.create ~profile ~primary_of:(fun _ -> 0) () in
+  let spread = B.Engine.create ~profile ~primary_of:(fun k -> k mod 3) () in
+  let run eng home =
+    let r =
+      B.Engine.run_load eng ~coroutines:4 ~warmup_us:200.0 ~duration_us:3_000.0
+        ~gen:(fun ~home:_ -> Spec.write_txn [ 1; 2 ])
+      ()
+    in
+    ignore home;
+    r.Zeus_workload.Driver.mtps
+  in
+  (* all keys on node 0: node 0's txns are entirely local *)
+  let t_local = run local 0 in
+  let t_remote = run spread 0 in
+  if t_local <= t_remote then
+    Alcotest.failf "local %.3f should beat remote %.3f" t_local t_remote
+
+let suite =
+  [
+    tc "local transaction" local_txn_commits;
+    tc "remote transaction" remote_txn_commits;
+    tc "read-only transaction" read_only_txn;
+    tc "conflicting transactions serialize" conflicting_txns_serialize;
+    tc "all three profiles run" profiles_all_run;
+    tc "closed-loop load" load_run_produces_throughput;
+    tc "remote transactions cost more" remote_txns_slower_than_local;
+  ]

@@ -1,0 +1,229 @@
+(* Tests for the node transaction API, the history checker, and cluster
+   invariants. *)
+
+module Engine = Zeus_sim.Engine
+module Cluster = Zeus_core.Cluster
+module Config = Zeus_core.Config
+module Node = Zeus_core.Node
+module History = Zeus_core.History
+module Value = Zeus_store.Value
+module Txn = Zeus_store.Txn
+
+let tc = Helpers.tc
+let check = Alcotest.check
+
+(* ---------- transaction API ---------- *)
+
+let read_write_roundtrip () =
+  let c = Helpers.default_cluster () in
+  Cluster.populate c ~key:1 ~owner:0 (Value.of_int 10);
+  Helpers.expect_committed "write" (Helpers.write_txn c 0 ~keys:[ 1 ] ~value:(Value.of_int 20));
+  check Alcotest.(option int) "read back" (Some 20) (Helpers.read_value c 0 1)
+
+let read_only_on_any_replica () =
+  let c = Helpers.default_cluster () in
+  Cluster.populate c ~key:1 ~owner:0 (Value.of_int 33);
+  List.iter
+    (fun n ->
+      check Alcotest.(option int) (Printf.sprintf "replica %d" n) (Some 33)
+        (Helpers.read_value c n 1))
+    [ 0; 1; 2 ]
+
+let ro_txn_costs_no_messages () =
+  let c = Helpers.default_cluster () in
+  Cluster.populate c ~key:1 ~owner:0 (Value.of_int 33);
+  Helpers.drain c;
+  let before = Zeus_net.Fabric.messages_sent (Cluster.fabric c) in
+  ignore (Helpers.read_value c 1 1);
+  check Alcotest.int "no network traffic" before
+    (Zeus_net.Fabric.messages_sent (Cluster.fabric c))
+
+let local_conflict_retries () =
+  (* two threads updating the same key with read-modify-write increments:
+     no lost updates despite conflicts *)
+  let c = Helpers.default_cluster () in
+  Cluster.populate c ~key:1 ~owner:0 (Value.of_int 0);
+  let n0 = Cluster.node c 0 in
+  let pending = ref 20 in
+  (* one in-flight transaction per thread, as on real worker threads *)
+  for thread = 0 to 1 do
+    let rec chain i =
+      if i < 10 then
+        Node.run_write n0 ~thread
+          ~body:(fun ctx commit ->
+            Node.read_write ctx 1 (fun v -> Value.of_int (Value.to_int v + 1)) (fun _ ->
+                commit ()))
+          (fun o ->
+            Helpers.expect_committed "increment" o;
+            decr pending;
+            chain (i + 1))
+    in
+    chain 0
+  done;
+  Helpers.drain c;
+  check Alcotest.int "all committed" 0 !pending;
+  check Alcotest.(option int) "no lost updates" (Some 20) (Helpers.read_value c 0 1);
+  Helpers.expect_invariants c
+
+let abort_after_max_retries () =
+  (* requesting ownership of a key whose directory entry does not exist
+     aborts after bounded retries instead of hanging *)
+  let c = Helpers.default_cluster () in
+  let outcome = ref None in
+  Node.run_write (Cluster.node c 0) ~thread:0
+    ~body:(fun ctx commit -> Node.write ctx 777 (Value.of_int 1) (fun () -> commit ()))
+    (fun o -> outcome := Some o);
+  Helpers.drain c ~max_us:1_000_000.0;
+  match !outcome with
+  | Some (Txn.Aborted _) -> ()
+  | Some Txn.Committed -> Alcotest.fail "committed on unknown key"
+  | None -> Alcotest.fail "hung"
+
+let insert_then_use () =
+  let c = Helpers.default_cluster () in
+  let n0 = Cluster.node c 0 in
+  Node.run_write n0 ~thread:0
+    ~body:(fun ctx commit ->
+      Node.insert ctx 5 (Value.of_int 50);
+      commit ())
+    (fun o -> Helpers.expect_committed "insert" o);
+  Helpers.drain c;
+  (* another node can now take ownership of the created object *)
+  Helpers.expect_committed "remote write of created object"
+    (Helpers.write_txn c 2 ~keys:[ 5 ] ~value:(Value.of_int 51));
+  check Alcotest.(option int) "updated" (Some 51) (Helpers.read_value c 0 5);
+  Helpers.expect_invariants c
+
+let cross_node_transfer () =
+  (* the quickstart scenario as a test: transfer between accounts whose
+     ownership migrates, conservation holds *)
+  let c = Helpers.default_cluster () in
+  Cluster.populate c ~key:1 ~owner:0 (Value.of_int 100);
+  Cluster.populate c ~key:2 ~owner:1 (Value.of_int 100);
+  let transfer node amount =
+    let done_ = ref false in
+    Node.run_write (Cluster.node c node) ~thread:0
+      ~body:(fun ctx commit ->
+        Node.read_write ctx 1 (fun v -> Value.of_int (Value.to_int v - amount)) (fun _ ->
+            Node.read_write ctx 2
+              (fun v -> Value.of_int (Value.to_int v + amount))
+              (fun _ -> commit ())))
+      (fun o ->
+        Helpers.expect_committed "transfer" o;
+        done_ := true);
+    Helpers.drain c;
+    check Alcotest.bool "completed" true !done_
+  in
+  transfer 0 10;
+  transfer 2 20;
+  transfer 1 5;
+  let a = Option.get (Helpers.read_value c 0 1) in
+  let b = Option.get (Helpers.read_value c 0 2) in
+  check Alcotest.int "conservation" 200 (a + b);
+  Helpers.expect_invariants c
+
+let txn_counters () =
+  let c = Helpers.default_cluster () in
+  Cluster.populate c ~key:1 ~owner:0 (Value.of_int 0);
+  Helpers.expect_committed "w" (Helpers.write_txn c 0 ~keys:[ 1 ] ~value:(Value.of_int 1));
+  ignore (Helpers.read_value c 1 1);
+  check Alcotest.int "committed" 1 (Node.committed (Cluster.node c 0));
+  check Alcotest.int "ro committed" 1 (Node.ro_committed (Cluster.node c 1))
+
+let dead_node_rejects_txns () =
+  let c = Helpers.default_cluster () in
+  Cluster.populate c ~key:1 ~owner:0 (Value.of_int 0);
+  Cluster.kill c 0;
+  Helpers.drain c;
+  let outcome = ref None in
+  Node.run_write (Cluster.node c 0) ~thread:0
+    ~body:(fun ctx commit -> Node.write ctx 1 (Value.of_int 1) (fun () -> commit ()))
+    (fun o -> outcome := Some o);
+  Helpers.drain c;
+  match !outcome with
+  | Some (Txn.Aborted Txn.Node_dead) -> ()
+  | _ -> Alcotest.fail "dead node accepted a transaction"
+
+(* ---------- history checker ---------- *)
+
+let history_accepts_valid () =
+  let h = History.create () in
+  History.record_commit h ~node:0 ~reads:[] ~writes:[ (1, 1) ] ~time:10.0;
+  History.record_durable h ~writes:[ (1, 1) ] ~time:15.0;
+  History.record_commit h ~node:0 ~reads:[ (1, 1) ] ~writes:[ (1, 2) ] ~time:20.0;
+  History.record_durable h ~writes:[ (1, 2) ] ~time:25.0;
+  History.record_ro h ~node:1 ~reads:[ (1, 1) ] ~time:22.0;
+  match History.check h with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid history rejected: %s" e
+
+let history_rejects_gap () =
+  let h = History.create () in
+  History.record_commit h ~node:0 ~reads:[] ~writes:[ (1, 1) ] ~time:10.0;
+  History.record_commit h ~node:0 ~reads:[] ~writes:[ (1, 3) ] ~time:20.0;
+  match History.check h with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "version gap accepted"
+
+let history_rejects_lost_update () =
+  let h = History.create () in
+  History.record_commit h ~node:0 ~reads:[] ~writes:[ (1, 1) ] ~time:10.0;
+  History.record_commit h ~node:0 ~reads:[] ~writes:[ (1, 2) ] ~time:20.0;
+  (* a write that read version 1 but produced version 3 skipped version 2 *)
+  History.record_commit h ~node:1 ~reads:[ (1, 1) ] ~writes:[ (1, 3) ] ~time:30.0;
+  match History.check h with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "stale-read write accepted"
+
+let history_rejects_inconsistent_snapshot () =
+  let h = History.create () in
+  (* key 1: v1 @10 (durable 12), v2 @20 (durable 22)
+     key 2: v1 @10 (durable 12), v2 @14 (durable 16)
+     reading (1@2, 2@1) is impossible: v2 of key1 exists only from t=20,
+     but key2's v1 is gone after t=16 *)
+  History.record_commit h ~node:0 ~reads:[] ~writes:[ (1, 1); (2, 1) ] ~time:10.0;
+  History.record_durable h ~writes:[ (1, 1); (2, 1) ] ~time:12.0;
+  History.record_commit h ~node:0 ~reads:[] ~writes:[ (2, 2) ] ~time:14.0;
+  History.record_durable h ~writes:[ (2, 2) ] ~time:16.0;
+  History.record_commit h ~node:0 ~reads:[] ~writes:[ (1, 2) ] ~time:20.0;
+  History.record_durable h ~writes:[ (1, 2) ] ~time:22.0;
+  History.record_ro h ~node:1 ~reads:[ (1, 2); (2, 1) ] ~time:30.0;
+  match History.check h with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "inconsistent snapshot accepted"
+
+let end_to_end_history_checked () =
+  let c = Helpers.default_cluster () in
+  Cluster.populate c ~key:1 ~owner:0 (Value.of_int 0);
+  Cluster.populate c ~key:2 ~owner:1 (Value.of_int 0);
+  for i = 1 to 10 do
+    Helpers.expect_committed "w1"
+      (Helpers.write_txn c (i mod 3) ~keys:[ 1 ] ~value:(Value.of_int i));
+    ignore (Helpers.read_value c ((i + 1) mod 3) 1);
+    Helpers.expect_committed "w2"
+      (Helpers.write_txn c ((i + 1) mod 3) ~keys:[ 1; 2 ] ~value:(Value.of_int i))
+  done;
+  (match Cluster.history c with
+  | Some h ->
+    check Alcotest.bool "history populated" true (History.writes h > 0);
+    check Alcotest.bool "ro recorded" true (History.read_only_txns h > 0)
+  | None -> Alcotest.fail "history missing");
+  Helpers.expect_invariants c
+
+let suite =
+  [
+    tc "write then read" read_write_roundtrip;
+    tc "read-only on every replica (§5.3)" read_only_on_any_replica;
+    tc "read-only transactions cost no messages" ro_txn_costs_no_messages;
+    tc "local conflicts retry without lost updates" local_conflict_retries;
+    tc "bounded retries then abort" abort_after_max_retries;
+    tc "insert, replicate, migrate" insert_then_use;
+    tc "cross-node transfers conserve money" cross_node_transfer;
+    tc "counters" txn_counters;
+    tc "dead node rejects transactions" dead_node_rejects_txns;
+    tc "history: accepts a valid history" history_accepts_valid;
+    tc "history: rejects version gaps" history_rejects_gap;
+    tc "history: rejects lost updates" history_rejects_lost_update;
+    tc "history: rejects inconsistent RO snapshots" history_rejects_inconsistent_snapshot;
+    tc "end-to-end history checking" end_to_end_history_checked;
+  ]

@@ -1,0 +1,45 @@
+(* Smoke tests for the experiment harness itself: the registry resolves,
+   quick runs complete, and the scale presets are sane.  (The heavyweight
+   figures run in the bench, not here.) *)
+
+let tc = Helpers.tc
+let check = Alcotest.check
+
+let registry_ids () =
+  let ids = Zeus_experiments.Experiments.names () in
+  List.iter
+    (fun required ->
+      if not (List.mem required ids) then Alcotest.failf "missing experiment %s" required)
+    [
+      "table2"; "verify"; "locality"; "fig7"; "fig8"; "fig9"; "fig10-12";
+      "fig13-15"; "tpcc"; "ablations";
+    ]
+
+let unknown_id_rejected () =
+  check Alcotest.bool "unknown id" false
+    (Zeus_experiments.Experiments.run_one ~quick:true "nope")
+
+let scales () =
+  let q = Zeus_experiments.Exp.scale_of ~quick:true in
+  let f = Zeus_experiments.Exp.scale_of ~quick:false in
+  check Alcotest.bool "quick smaller" true
+    (q.Zeus_experiments.Exp.objects_per_node < f.Zeus_experiments.Exp.objects_per_node);
+  check Alcotest.bool "quick shorter" true
+    (q.Zeus_experiments.Exp.duration_us < f.Zeus_experiments.Exp.duration_us)
+
+let table2_runs () =
+  check Alcotest.bool "table2" true
+    (Zeus_experiments.Experiments.run_one ~quick:true "table2")
+
+let locality_runs () =
+  check Alcotest.bool "locality" true
+    (Zeus_experiments.Experiments.run_one ~quick:true "locality")
+
+let suite =
+  [
+    tc "registry: all paper artifacts present" registry_ids;
+    tc "registry: unknown ids rejected" unknown_id_rejected;
+    tc "scales: quick < full" scales;
+    tc "table2 runs" table2_runs;
+    tc "locality analysis runs" locality_runs;
+  ]

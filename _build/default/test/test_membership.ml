@@ -1,0 +1,87 @@
+(* Tests for the lease-based membership service. *)
+
+module Engine = Zeus_sim.Engine
+module Fabric = Zeus_net.Fabric
+module Transport = Zeus_net.Transport
+module View = Zeus_membership.View
+module Service = Zeus_membership.Service
+
+let tc = Helpers.tc
+let check = Alcotest.check
+
+let setup ?(nodes = 3) () =
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes Fabric.default_config in
+  let t = Transport.create f in
+  let m = Service.create ~lease_us:100.0 ~detect_us:50.0 ~skew_us:2.0 t in
+  (e, f, m)
+
+let view_ops () =
+  let v = View.initial ~nodes:3 in
+  check Alcotest.int "epoch 0" 0 v.View.epoch;
+  check Alcotest.(list int) "all live" [ 0; 1; 2 ] (View.live_list v);
+  let v1 = View.without v 1 in
+  check Alcotest.int "epoch bumps" 1 v1.View.epoch;
+  check Alcotest.(list int) "1 dead" [ 0; 2 ] (View.live_list v1);
+  check Alcotest.bool "is_live" false (View.is_live v1 1);
+  let v2 = View.with_node v1 1 in
+  check Alcotest.(list int) "rejoined" [ 0; 1; 2 ] (View.live_list v2);
+  check Alcotest.int "epoch 2" 2 v2.View.epoch
+
+let kill_updates_after_lease () =
+  let e, f, m = setup () in
+  Service.kill m 1;
+  check Alcotest.bool "fabric crash immediate" false (Fabric.is_alive f 1);
+  Engine.run ~until:100.0 e;
+  check Alcotest.int "not yet (lease)" 0 (Service.view m).View.epoch;
+  Engine.run ~until:400.0 e;
+  check Alcotest.int "epoch bumped" 1 (Service.view m).View.epoch;
+  check Alcotest.bool "view excludes" false (View.is_live (Service.view m) 1)
+
+let nodes_get_view_with_skew () =
+  let e, _, m = setup () in
+  let seen = ref [] in
+  Service.subscribe m 0 (fun v -> seen := v.View.epoch :: !seen);
+  Service.subscribe m 2 (fun v -> seen := (100 + v.View.epoch) :: !seen);
+  Service.kill m 1;
+  Engine.run ~until:1_000.0 e;
+  check Alcotest.bool "node0 notified" true (List.mem 1 !seen);
+  check Alcotest.bool "node2 notified" true (List.mem 101 !seen);
+  check Alcotest.int "node epoch" 1 (Service.epoch_at m 0)
+
+let dead_node_not_notified () =
+  let e, _, m = setup () in
+  let fired = ref false in
+  Service.subscribe m 1 (fun _ -> fired := true);
+  Service.kill m 1;
+  Engine.run ~until:1_000.0 e;
+  check Alcotest.bool "dead node silent" false !fired
+
+let rejoin_bumps_epoch () =
+  let e, f, m = setup () in
+  Service.kill m 1;
+  Engine.run ~until:500.0 e;
+  Service.rejoin m 1;
+  Engine.run ~until:1_000.0 e;
+  check Alcotest.int "epoch 2" 2 (Service.view m).View.epoch;
+  check Alcotest.bool "alive again" true (Fabric.is_alive f 1);
+  check Alcotest.bool "in view" true (View.is_live (Service.view m) 1)
+
+let two_kills_two_epochs () =
+  let e, _, m = setup () in
+  Service.kill m 1;
+  Engine.run ~until:500.0 e;
+  Service.kill m 2;
+  Engine.run ~until:1_500.0 e;
+  check Alcotest.int "epoch 2" 2 (Service.view m).View.epoch;
+  check Alcotest.(list int) "only node0" [ 0 ] (View.live_list (Service.view m))
+
+let suite =
+  [
+    tc "view: algebra" view_ops;
+    tc "kill: view installed after detection + lease" kill_updates_after_lease;
+    tc "subscribers notified with skew" nodes_get_view_with_skew;
+    tc "dead node gets no view" dead_node_not_notified;
+    tc "rejoin" rejoin_bumps_epoch;
+    tc "two failures, two epochs" two_kills_two_epochs;
+  ]

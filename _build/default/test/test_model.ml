@@ -1,0 +1,89 @@
+(* Model-checking tests: bounded-exhaustive exploration of the protocol
+   specifications (the stand-in for the paper's TLA+ checking, §8).
+   Deeper explorations run in the bench harness ("verify" experiment). *)
+
+module E = Zeus_model.Explorer
+module O = Zeus_model.Ownership_spec
+module C = Zeus_model.Commit_spec
+
+let tc = Helpers.tc
+
+let assert_clean name (stats : _ E.stats) ~complete =
+  (match stats.E.violation with
+  | Some (s, msg) ->
+    Alcotest.failf "%s: %s\nstate: %s" name msg (Format.asprintf "%a" O.pp_state s)
+  | None -> ());
+  Alcotest.(check bool) (name ^ ": explored something") true (stats.E.explored > 100);
+  if complete then
+    Alcotest.(check bool)
+      (name ^ ": exhausted the state space")
+      true
+      (stats.E.quiescent > 0)
+
+let assert_clean_c name (stats : _ E.stats) =
+  (match stats.E.violation with
+  | Some (s, msg) ->
+    Alcotest.failf "%s: %s\nstate: %s" name msg (Format.asprintf "%a" C.pp_state s)
+  | None -> ());
+  Alcotest.(check bool) (name ^ ": explored something") true (stats.E.explored > 100)
+
+let ownership_no_faults () =
+  (* two racing requesters, healthy network: fully exhaustive *)
+  let config = { O.default_config with O.crashable = []; dup_budget = 0 } in
+  let stats = O.explore ~config ~max_states:400_000 () in
+  assert_clean "ownership/contention" stats ~complete:true;
+  Alcotest.(check bool) "complete" true (stats.E.explored < 400_000)
+
+let ownership_duplication () =
+  let config = { O.default_config with O.crashable = []; dup_budget = 1 } in
+  let stats = O.explore ~config ~max_states:700_000 () in
+  assert_clean "ownership/duplication" stats ~complete:true;
+  Alcotest.(check bool) "complete" true (stats.E.explored < 700_000)
+
+let ownership_single_requester_crashes () =
+  (* one requester, any of {owner, driver/requester} may crash: exhaustive *)
+  let config = { O.default_config with O.requesters = [ 3 ]; crashable = [ 0; 1 ] } in
+  let stats = O.explore ~config ~max_states:400_000 () in
+  assert_clean "ownership/crash" stats ~complete:true;
+  Alcotest.(check bool) "complete" true (stats.E.explored < 400_000)
+
+let ownership_contention_with_crash () =
+  (* the full default model: two racing requesters x crash of the owner or
+     a requester, ~60k states — fully exhaustive *)
+  let stats = O.explore ~max_states:400_000 () in
+  assert_clean "ownership/contention+crash" stats ~complete:true;
+  Alcotest.(check bool) "complete" true (stats.E.explored < 400_000)
+
+let commit_no_faults () =
+  let config = { C.default_config with C.crash = false; dup_budget = 0 } in
+  let stats = C.explore ~config ~max_states:400_000 () in
+  assert_clean_c "commit/pipeline" stats;
+  Alcotest.(check bool) "complete" true (stats.E.explored < 400_000)
+
+let commit_duplication () =
+  let config = { C.default_config with C.crash = false; dup_budget = 1 } in
+  let stats = C.explore ~config ~max_states:400_000 () in
+  assert_clean_c "commit/duplication" stats
+
+let commit_crash () =
+  let config = { C.default_config with C.crash = true } in
+  let stats = C.explore ~config ~max_states:400_000 () in
+  assert_clean_c "commit/crash-replay" stats
+
+let commit_longer_pipeline () =
+  let config = { C.default_config with C.txns = [ `Y; `XY; `X; `XY ]; crash = false } in
+  let stats = C.explore ~config ~max_states:400_000 () in
+  assert_clean_c "commit/longer-pipeline" stats
+
+let suite =
+  [
+    tc "ownership: contention, no faults (exhaustive)" ownership_no_faults;
+    tc "ownership: with duplication (exhaustive)" ownership_duplication;
+    tc "ownership: crashes, single requester (exhaustive)"
+      ownership_single_requester_crashes;
+    tc "ownership: contention + crash (exhaustive)" ownership_contention_with_crash;
+    tc "commit: pipelined, partial streams (exhaustive)" commit_no_faults;
+    tc "commit: with duplication" commit_duplication;
+    tc "commit: coordinator crash + replay" commit_crash;
+    tc "commit: longer pipeline" commit_longer_pipeline;
+  ]

@@ -1,0 +1,214 @@
+(* Tests for the message fabric and the reliable transport. *)
+
+module Engine = Zeus_sim.Engine
+module Fabric = Zeus_net.Fabric
+module Transport = Zeus_net.Transport
+
+let tc = Helpers.tc
+let check = Alcotest.check
+
+type Zeus_net.Msg.payload += Ping of int
+
+let setup ?(nodes = 3) ?(config = Fabric.default_config) () =
+  let e = Engine.create () in
+  let f = Fabric.create e ~nodes config in
+  (e, f)
+
+let collect f node =
+  let log = ref [] in
+  Fabric.set_handler f node (fun ~src payload ->
+      match payload with Ping n -> log := (src, n) :: !log | _ -> ());
+  log
+
+(* ---------- fabric ---------- *)
+
+let fabric_delivers () =
+  let e, f = setup () in
+  let log = collect f 1 in
+  Fabric.send f ~src:0 ~dst:1 (Ping 7);
+  Engine.run e;
+  check Alcotest.(list (pair int int)) "delivered" [ (0, 7) ] !log;
+  check Alcotest.bool "latency > base" true (Engine.now e >= 4.0)
+
+let fabric_size_latency () =
+  (* a 1 MB payload at 40 Gbps should take ~200 µs of serialization *)
+  let e, f = setup () in
+  let _ = collect f 1 in
+  Fabric.send f ~src:0 ~dst:1 ~size:1_000_000 (Ping 0);
+  Engine.run e;
+  if Engine.now e < 150.0 then Alcotest.failf "big message too fast: %f" (Engine.now e)
+
+let fabric_loss () =
+  let e, f = setup ~config:{ Fabric.default_config with Fabric.loss_prob = 1.0 } () in
+  let log = collect f 1 in
+  for _ = 1 to 20 do
+    Fabric.send f ~src:0 ~dst:1 (Ping 1)
+  done;
+  Engine.run e;
+  check Alcotest.(list (pair int int)) "all lost" [] !log;
+  check Alcotest.int "counted" 20 (Fabric.messages_dropped f)
+
+let fabric_duplication () =
+  let e, f = setup ~config:{ Fabric.default_config with Fabric.dup_prob = 1.0 } () in
+  let log = collect f 1 in
+  Fabric.send f ~src:0 ~dst:1 (Ping 1);
+  Engine.run e;
+  check Alcotest.int "two copies" 2 (List.length !log)
+
+let fabric_partition () =
+  let e, f = setup () in
+  let log1 = collect f 1 and log2 = collect f 2 in
+  Fabric.partition f 0 1;
+  Fabric.send f ~src:0 ~dst:1 (Ping 1);
+  Fabric.send f ~src:0 ~dst:2 (Ping 2);
+  Engine.run e;
+  check Alcotest.int "partitioned" 0 (List.length !log1);
+  check Alcotest.int "other path open" 1 (List.length !log2);
+  Fabric.heal f 0 1;
+  Fabric.send f ~src:0 ~dst:1 (Ping 3);
+  Engine.run e;
+  check Alcotest.int "healed" 1 (List.length !log1)
+
+let fabric_crash () =
+  let e, f = setup () in
+  let log = collect f 1 in
+  Fabric.crash f 1;
+  Fabric.send f ~src:0 ~dst:1 (Ping 1);
+  Engine.run e;
+  check Alcotest.int "dead node" 0 (List.length !log);
+  Fabric.crash f 0;
+  Fabric.recover f 1;
+  Fabric.send f ~src:0 ~dst:1 (Ping 2);
+  Engine.run e;
+  check Alcotest.int "dead sender" 0 (List.length !log)
+
+let fabric_in_flight_to_crashed () =
+  (* a message in flight to a node that crashes before arrival is dropped *)
+  let e, f = setup () in
+  let log = collect f 1 in
+  Fabric.send f ~src:0 ~dst:1 (Ping 1);
+  ignore (Engine.schedule e ~after:0.5 (fun () -> Fabric.crash f 1));
+  Engine.run e;
+  check Alcotest.int "dropped mid-flight" 0 (List.length !log)
+
+let fabric_self_send () =
+  let e, f = setup () in
+  let log = collect f 0 in
+  Fabric.send f ~src:0 ~dst:0 (Ping 9);
+  Engine.run e;
+  check Alcotest.(list (pair int int)) "self" [ (0, 9) ] !log;
+  check Alcotest.bool "fast" true (Engine.now e < 1.0)
+
+let fabric_counters () =
+  let e, f = setup () in
+  let _ = collect f 1 in
+  Fabric.send f ~src:0 ~dst:1 ~size:100 (Ping 1);
+  Fabric.send f ~src:0 ~dst:1 ~size:200 (Ping 2);
+  Engine.run e;
+  check Alcotest.int "messages" 2 (Fabric.messages_sent f);
+  check Alcotest.int "bytes" 300 (Fabric.bytes_sent f);
+  Fabric.reset_counters f;
+  check Alcotest.int "reset" 0 (Fabric.messages_sent f)
+
+(* ---------- transport ---------- *)
+
+let transport_setup ?(fabric_config = Fabric.default_config) ?config () =
+  let e, f = setup ~config:fabric_config () in
+  let t = Transport.create ?config f in
+  (e, t)
+
+let tcollect t node =
+  let log = ref [] in
+  Transport.set_handler t node (fun ~src payload ->
+      match payload with Ping n -> log := (src, n) :: !log | _ -> ());
+  log
+
+let transport_delivers () =
+  let e, t = transport_setup () in
+  let log = tcollect t 1 in
+  Transport.send t ~src:0 ~dst:1 (Ping 3);
+  Engine.run e;
+  check Alcotest.(list (pair int int)) "delivered" [ (0, 3) ] !log
+
+let transport_survives_loss () =
+  let e, t =
+    transport_setup
+      ~fabric_config:{ Fabric.default_config with Fabric.loss_prob = 0.4 }
+      ()
+  in
+  let log = tcollect t 1 in
+  for i = 1 to 50 do
+    Transport.send t ~src:0 ~dst:1 (Ping i)
+  done;
+  Engine.run e;
+  check Alcotest.int "all delivered despite 40% loss" 50 (List.length !log);
+  check Alcotest.bool "retransmitted" true (Transport.retransmissions t > 0);
+  (* exactly once: no duplicates *)
+  let sorted = List.sort compare (List.map snd !log) in
+  check Alcotest.(list int) "exactly once" (List.init 50 (fun i -> i + 1)) sorted
+
+let transport_dedup_duplication () =
+  let e, t =
+    transport_setup
+      ~fabric_config:{ Fabric.default_config with Fabric.dup_prob = 1.0 }
+      ()
+  in
+  let log = tcollect t 1 in
+  for i = 1 to 10 do
+    Transport.send t ~src:0 ~dst:1 (Ping i)
+  done;
+  Engine.run e;
+  check Alcotest.int "deduplicated" 10 (List.length !log)
+
+let transport_no_dedup_mode () =
+  let e, t =
+    transport_setup
+      ~fabric_config:{ Fabric.default_config with Fabric.dup_prob = 1.0 }
+      ~config:{ Transport.default_config with Transport.dedup = false }
+      ()
+  in
+  let log = tcollect t 1 in
+  Transport.send t ~src:0 ~dst:1 (Ping 1);
+  Engine.run e;
+  check Alcotest.bool "duplicates visible" true (List.length !log >= 2)
+
+let transport_gives_up_on_dead_peer () =
+  let e, t = transport_setup () in
+  let _ = tcollect t 1 in
+  Transport.crash t 1;
+  Transport.send t ~src:0 ~dst:1 (Ping 1);
+  (* must terminate: retransmissions stop once the peer is known dead *)
+  Engine.run ~max_events:100_000 e;
+  check Alcotest.bool "terminates" true (Engine.pending e = 0)
+
+let transport_crash_clears_timers () =
+  let e, t =
+    transport_setup
+      ~fabric_config:{ Fabric.default_config with Fabric.loss_prob = 1.0 }
+      ()
+  in
+  let _ = tcollect t 1 in
+  Transport.send t ~src:0 ~dst:1 (Ping 1);
+  Engine.run ~until:50.0 e;
+  Transport.crash t 0;
+  Engine.run ~max_events:10_000 e;
+  check Alcotest.int "no stuck retransmit timers" 0 (Engine.pending e)
+
+let suite =
+  [
+    tc "fabric: delivers with latency" fabric_delivers;
+    tc "fabric: size adds serialization delay" fabric_size_latency;
+    tc "fabric: loss injection" fabric_loss;
+    tc "fabric: duplication injection" fabric_duplication;
+    tc "fabric: partitions" fabric_partition;
+    tc "fabric: crash-stop" fabric_crash;
+    tc "fabric: in-flight to crashed node dropped" fabric_in_flight_to_crashed;
+    tc "fabric: self-send" fabric_self_send;
+    tc "fabric: traffic counters" fabric_counters;
+    tc "transport: delivers" transport_delivers;
+    tc "transport: exactly-once under 40% loss" transport_survives_loss;
+    tc "transport: dedup under duplication" transport_dedup_duplication;
+    tc "transport: dedup can be disabled" transport_no_dedup_mode;
+    tc "transport: gives up on dead peer" transport_gives_up_on_dead_peer;
+    tc "transport: crash clears retransmit state" transport_crash_clears_timers;
+  ]

@@ -1,0 +1,252 @@
+(* Tests for the object store and the local transactional-memory layer. *)
+
+open Zeus_store
+
+let tc = Helpers.tc
+let check = Alcotest.check
+
+(* ---------- value codec ---------- *)
+
+let value_roundtrip () =
+  check Alcotest.int "int" 42 (Value.to_int (Value.of_int 42));
+  check Alcotest.int "negative" (-7) (Value.to_int (Value.of_int (-7)));
+  check Alcotest.(list int) "ints" [ 1; 2; 3 ] (Value.to_ints (Value.of_ints [ 1; 2; 3 ]));
+  check Alcotest.string "string" "hello" (Value.to_string (Value.of_string "hello"))
+
+let value_padded () =
+  let v = Value.padded [ 5; 6 ] ~size:100 in
+  check Alcotest.int "size" 100 (Value.size v);
+  check Alcotest.int "field decodable" 5 (Value.to_int v)
+
+let value_padded_no_truncate () =
+  let v = Value.padded [ 1; 2; 3 ] ~size:8 in
+  check Alcotest.int "grows to fit" 24 (Value.size v)
+
+(* ---------- ownership timestamps ---------- *)
+
+let ots_ordering () =
+  let a = { Ots.version = 1; node = 2 } in
+  let b = { Ots.version = 1; node = 3 } in
+  let c = { Ots.version = 2; node = 0 } in
+  check Alcotest.bool "node breaks ties" true Ots.(b > a);
+  check Alcotest.bool "version dominates" true Ots.(c > b);
+  check Alcotest.bool "next is larger" true Ots.(Ots.next a ~node:0 > a);
+  check Alcotest.bool "equal" true (Ots.equal a a)
+
+let ots_uniqueness () =
+  (* two drivers bumping the same base with distinct node ids never collide *)
+  let base = Ots.zero in
+  let a = Ots.next base ~node:0 and b = Ots.next base ~node:1 in
+  check Alcotest.bool "distinct" false (Ots.equal a b);
+  check Alcotest.bool "total order" true Ots.(b > a)
+
+(* ---------- replicas ---------- *)
+
+let replicas_promote () =
+  let r = Replicas.v ~owner:0 ~readers:[ 1; 2 ] in
+  let r' = Replicas.promote r ~new_owner:2 in
+  check Alcotest.bool "new owner" true (Replicas.is_owner r' 2);
+  check Alcotest.bool "old owner demoted" true (Replicas.is_reader r' 0);
+  check Alcotest.bool "other reader kept" true (Replicas.is_reader r' 1);
+  check Alcotest.int "count stable for reader-upgrade" 3 (Replicas.count r')
+
+let replicas_promote_nonreplica () =
+  let r = Replicas.v ~owner:0 ~readers:[ 1 ] in
+  let r' = Replicas.promote r ~new_owner:3 in
+  check Alcotest.int "count grows" 3 (Replicas.count r');
+  check Alcotest.bool "owner" true (Replicas.is_owner r' 3)
+
+let replicas_add_remove () =
+  let r = Replicas.v ~owner:0 ~readers:[ 1 ] in
+  let r = Replicas.add_reader r 2 in
+  check Alcotest.int "added" 3 (Replicas.count r);
+  let r = Replicas.add_reader r 2 in
+  check Alcotest.int "idempotent" 3 (Replicas.count r);
+  let r = Replicas.remove_reader r 1 in
+  check Alcotest.(list int) "removed" [ 0; 2 ] (Replicas.all r)
+
+let replicas_drop_dead () =
+  let r = Replicas.v ~owner:0 ~readers:[ 1; 2 ] in
+  let r = Replicas.drop_dead r ~live:(fun n -> n <> 0 && n <> 2) in
+  check Alcotest.bool "owner dropped" true (r.Replicas.owner = None);
+  check Alcotest.(list int) "reader kept" [ 1 ] r.Replicas.readers
+
+(* ---------- object local-ownership rules ---------- *)
+
+let obj_lock_rules () =
+  let o = Obj.create ~key:1 ~role:Types.Owner (Value.of_int 0) in
+  check Alcotest.bool "free" true (Obj.can_lock o ~thread:0);
+  Obj.lock o ~thread:0;
+  check Alcotest.bool "same thread re-lock" true (Obj.can_lock o ~thread:0);
+  check Alcotest.bool "other thread blocked" false (Obj.can_lock o ~thread:1);
+  Obj.unlock o ~thread:1;
+  check Alcotest.bool "unlock by non-holder ignored" false (Obj.can_lock o ~thread:1);
+  Obj.unlock o ~thread:0;
+  check Alcotest.bool "released" true (Obj.can_lock o ~thread:1)
+
+let obj_pipeline_guard () =
+  (* an object in thread 0's still-replicating pipeline cannot switch to
+     thread 1 (§5.2), but thread 0 keeps using it *)
+  let o = Obj.create ~key:1 ~role:Types.Owner (Value.of_int 0) in
+  o.Obj.pending_rc <- 1;
+  o.Obj.last_writer_thread <- 0;
+  check Alcotest.bool "same pipeline ok" true (Obj.can_lock o ~thread:0);
+  check Alcotest.bool "cross pipeline blocked" false (Obj.can_lock o ~thread:1);
+  o.Obj.pending_rc <- 0;
+  check Alcotest.bool "after replication ok" true (Obj.can_lock o ~thread:1)
+
+(* ---------- table ---------- *)
+
+let table_basics () =
+  let t = Table.create ~node:0 in
+  check Alcotest.bool "empty" false (Table.mem t 1);
+  Table.install t (Obj.create ~key:1 ~role:Types.Owner (Value.of_int 5));
+  check Alcotest.bool "mem" true (Table.mem t 1);
+  check Alcotest.int "size" 1 (Table.size t);
+  check Alcotest.int "value" 5 (Value.to_int (Table.get t 1).Obj.data);
+  Table.remove t 1;
+  check Alcotest.bool "removed" false (Table.mem t 1)
+
+(* ---------- transactions (local layer) ---------- *)
+
+let fresh_table () =
+  let t = Table.create ~node:0 in
+  List.iter
+    (fun k -> Table.install t (Obj.create ~key:k ~role:Types.Owner ~version:1 (Value.of_int (10 * k))))
+    [ 1; 2; 3 ];
+  t
+
+let txn_commit_publishes () =
+  let t = fresh_table () in
+  let txn = Txn.create_write t ~thread:0 in
+  (match Txn.open_write txn 1 with Ok _ -> () | Error _ -> Alcotest.fail "open");
+  Txn.put txn 1 (Value.of_int 99);
+  (match Txn.local_commit txn with
+  | Ok [ u ] ->
+    check Alcotest.int "version bumped" 2 u.Txn.version;
+    check Alcotest.int "published" 99 (Value.to_int (Table.get t 1).Obj.data);
+    check Alcotest.bool "t_state write" true ((Table.get t 1).Obj.t_state = Types.T_write);
+    check Alcotest.int "pending_rc" 1 (Table.get t 1).Obj.pending_rc
+  | Ok _ -> Alcotest.fail "expected one update"
+  | Error _ -> Alcotest.fail "commit failed")
+
+let txn_private_copies_isolated () =
+  let t = fresh_table () in
+  let txn = Txn.create_write t ~thread:0 in
+  (match Txn.open_write txn 1 with Ok _ -> () | Error _ -> Alcotest.fail "open");
+  Txn.put txn 1 (Value.of_int 99);
+  (* The table still shows the old value until commit (opacity). *)
+  check Alcotest.int "not yet visible" 10 (Value.to_int (Table.get t 1).Obj.data);
+  Txn.abort txn;
+  check Alcotest.int "abort discards" 10 (Value.to_int (Table.get t 1).Obj.data);
+  check Alcotest.bool "lock released" true (Obj.can_lock (Table.get t 1) ~thread:1)
+
+let txn_lock_conflict () =
+  let t = fresh_table () in
+  let t1 = Txn.create_write t ~thread:0 in
+  let t2 = Txn.create_write t ~thread:1 in
+  (match Txn.open_write t1 1 with Ok _ -> () | Error _ -> Alcotest.fail "t1 open");
+  (match Txn.open_write t2 1 with
+  | Error (Txn.Lock_conflict 1) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected lock conflict");
+  (* t2 is aborted; t1 proceeds *)
+  match Txn.local_commit t1 with Ok _ -> () | Error _ -> Alcotest.fail "t1 commit"
+
+let txn_read_own_writes () =
+  let t = fresh_table () in
+  let txn = Txn.create_write t ~thread:0 in
+  (match Txn.open_write txn 1 with Ok _ -> () | Error _ -> Alcotest.fail "open");
+  Txn.put txn 1 (Value.of_int 77);
+  (match Txn.open_read txn 1 with
+  | Ok v -> check Alcotest.int "sees own write" 77 (Value.to_int v)
+  | Error _ -> Alcotest.fail "read");
+  Txn.abort txn
+
+let txn_create_and_free () =
+  let t = fresh_table () in
+  let txn = Txn.create_write t ~thread:0 in
+  Txn.create_obj txn 9 (Value.of_int 900);
+  (match Txn.open_read txn 9 with
+  | Ok v -> check Alcotest.int "created visible in txn" 900 (Value.to_int v)
+  | Error _ -> Alcotest.fail "read created");
+  (match Txn.free_obj txn 1 with Ok () -> () | Error _ -> Alcotest.fail "free");
+  (match Txn.local_commit txn with
+  | Ok updates ->
+    check Alcotest.int "two updates" 2 (List.length updates);
+    check Alcotest.bool "created installed" true (Table.mem t 9);
+    let freed = List.find (fun u -> u.Txn.key = 1) updates in
+    check Alcotest.bool "freed flagged" true freed.Txn.freed
+  | Error _ -> Alcotest.fail "commit")
+
+let txn_ro_snapshot_validates () =
+  let t = fresh_table () in
+  let ro = Txn.create_read t ~thread:5 in
+  (match Txn.open_read ro 1 with Ok _ -> () | Error _ -> Alcotest.fail "ro read");
+  (match Txn.local_commit ro with Ok [] -> () | _ -> Alcotest.fail "ro commit")
+
+let txn_ro_aborts_on_version_change () =
+  let t = fresh_table () in
+  let ro = Txn.create_read t ~thread:5 in
+  (match Txn.open_read ro 1 with Ok _ -> () | Error _ -> Alcotest.fail "ro read");
+  (* concurrent writer bumps the version before validation *)
+  let w = Txn.create_write t ~thread:0 in
+  (match Txn.open_write w 1 with Ok _ -> () | Error _ -> Alcotest.fail "w open");
+  Txn.put w 1 (Value.of_int 1);
+  (match Txn.local_commit w with Ok _ -> () | Error _ -> Alcotest.fail "w commit");
+  match Txn.local_commit ro with
+  | Error (Txn.Invalidated _) -> ()
+  | _ -> Alcotest.fail "expected invalidation abort"
+
+let txn_ro_aborts_on_invalid_state () =
+  let t = fresh_table () in
+  (Table.get t 2).Obj.t_state <- Types.T_invalid;
+  let ro = Txn.create_read t ~thread:5 in
+  match Txn.open_read ro 2 with
+  | Error (Txn.Invalidated 2) -> ()
+  | _ -> Alcotest.fail "reader must not return an invalidated object"
+
+let txn_not_replica () =
+  let t = fresh_table () in
+  let ro = Txn.create_read t ~thread:0 in
+  match Txn.open_read ro 42 with
+  | Error (Txn.Not_replica 42) -> ()
+  | _ -> Alcotest.fail "expected not-replica"
+
+let txn_multi_write_single_version_bump () =
+  let t = fresh_table () in
+  let txn = Txn.create_write t ~thread:0 in
+  (match Txn.open_write txn 1 with Ok _ -> () | Error _ -> Alcotest.fail "open");
+  Txn.put txn 1 (Value.of_int 1);
+  Txn.put txn 1 (Value.of_int 2);
+  Txn.put txn 1 (Value.of_int 3);
+  match Txn.local_commit txn with
+  | Ok [ u ] ->
+    check Alcotest.int "one bump" 2 u.Txn.version;
+    check Alcotest.int "last value" 3 (Value.to_int (Table.get t 1).Obj.data)
+  | _ -> Alcotest.fail "commit"
+
+let suite =
+  [
+    tc "value: roundtrip codecs" value_roundtrip;
+    tc "value: padded" value_padded;
+    tc "value: padded never truncates" value_padded_no_truncate;
+    tc "ots: lexicographic order" ots_ordering;
+    tc "ots: driver timestamps unique" ots_uniqueness;
+    tc "replicas: promote demotes old owner" replicas_promote;
+    tc "replicas: promote of non-replica grows set" replicas_promote_nonreplica;
+    tc "replicas: add/remove readers" replicas_add_remove;
+    tc "replicas: drop dead nodes" replicas_drop_dead;
+    tc "obj: thread locking rules" obj_lock_rules;
+    tc "obj: pipeline switching guard (§5.2)" obj_pipeline_guard;
+    tc "table: basics" table_basics;
+    tc "txn: commit publishes atomically" txn_commit_publishes;
+    tc "txn: private copies give opacity" txn_private_copies_isolated;
+    tc "txn: lock conflicts abort" txn_lock_conflict;
+    tc "txn: reads own writes" txn_read_own_writes;
+    tc "txn: create and free objects" txn_create_and_free;
+    tc "txn: read-only snapshot validates" txn_ro_snapshot_validates;
+    tc "txn: read-only aborts on version change" txn_ro_aborts_on_version_change;
+    tc "txn: read-only refuses invalidated object" txn_ro_aborts_on_invalid_state;
+    tc "txn: non-replica read fails" txn_not_replica;
+    tc "txn: one version bump per txn" txn_multi_write_single_version_bump;
+  ]
