@@ -1,0 +1,24 @@
+.PHONY: all build test check bench bench-quick clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# What CI runs: full build, the whole test suite, and a quick smoke of the
+# locality-engine experiment (also exercises the BENCH_locality.json path).
+check: test
+	dune exec bench/main.exe -- --quick predictive
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean
+	rm -f BENCH_locality.json

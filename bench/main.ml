@@ -152,6 +152,34 @@ let run_micro () =
     (List.sort compare rows);
   Printf.printf "%!"
 
+(* Machine-readable results for the locality experiment (CI trend tracking;
+   no JSON library in the tree, so emit by hand with non-finite guards). *)
+let emit_locality_json path =
+  match Zeus_experiments.Predictive.last_results () with
+  | None -> ()
+  | Some r ->
+    let module P = Zeus_experiments.Predictive in
+    let num x = if Float.is_finite x then Printf.sprintf "%.3f" x else "null" in
+    let arm (a : P.arm) =
+      Printf.sprintf
+        "{\"committed\": %d, \"remote_fraction\": %s, \"p50_us\": %s, \"p99_us\": %s, \
+         \"prefetch_hits\": %d, \"prefetch_misses\": %d, \"hints\": %d, \"pins\": %d, \
+         \"reassigns\": %d}"
+        a.P.committed
+        (num (P.remote_fraction a))
+        (num a.P.p50) (num a.P.p99) a.P.hits a.P.misses a.P.hints a.P.pins a.P.reassigns
+    in
+    let pair (reactive, predictive) =
+      Printf.sprintf "{\"reactive\": %s, \"predictive\": %s}" (arm reactive)
+        (arm predictive)
+    in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\"quick\": %b,\n \"trajectory\": %s,\n \"skew\": %s,\n \"uniform\": %s}\n"
+      r.P.quick (pair r.P.trajectory) (pair r.P.skew) (pair r.P.uniform);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
@@ -170,5 +198,6 @@ let () =
             Printf.printf "unknown experiment %S; known: %s\n" id
               (String.concat ", " (Zeus_experiments.Experiments.names ())))
         ids);
+    emit_locality_json "BENCH_locality.json";
     Printf.printf "\nAll experiments done.\n%!"
   end

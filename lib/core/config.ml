@@ -38,6 +38,11 @@ type t = {
           scalable scheme §6.2 prescribes for large deployments or limited
           locality *)
   record_history : bool;     (** feed the serializability checker (tests) *)
+  locality : Zeus_locality.Engine.config;
+      (** predictive ownership placement (access tracking, prefetch,
+          anti-ping-pong pinning); disabled by default — with
+          [locality.enabled = false] no engine is created and placement is
+          exactly the paper's reactive behaviour *)
   fabric : Zeus_net.Fabric.config;
   transport : Zeus_net.Transport.config;
   ownership : Zeus_ownership.Agent.config;
@@ -65,6 +70,7 @@ let default =
     auto_trim = true;
     distributed_directory = false;
     record_history = false;
+    locality = Zeus_locality.Engine.default_config;
     fabric = Zeus_net.Fabric.default_config;
     transport = Zeus_net.Transport.default_config;
     ownership = Zeus_ownership.Agent.default_config;

@@ -7,6 +7,7 @@ module Fabric = Zeus_net.Fabric
 module Service = Zeus_membership.Service
 module Own = Zeus_ownership
 module Com = Zeus_commit
+module Loc = Zeus_locality
 open Zeus_store
 
 type t = {
@@ -18,6 +19,7 @@ type t = {
   table : Table.t;
   mutable ownership : Own.Agent.t option;  (* set right after create *)
   mutable commit : Com.Agent.t option;
+  mutable locality : Loc.Engine.t option;  (* predictive placement, opt-in *)
   ds : Resource.t;
   rng : Rng.t;
   history : History.t option;
@@ -39,6 +41,12 @@ let config t = t.config
 let ds t = t.ds
 let ownership_agent t = Option.get t.ownership
 let commit_agent t = Option.get t.commit
+let locality t = t.locality
+
+let note_local_access t ~key ~write =
+  match t.locality with
+  | Some loc -> Loc.Engine.note_local_access loc ~key ~write
+  | None -> ()
 let committed t = t.n_committed
 let aborted t = t.n_aborted
 let ro_committed t = t.n_ro_committed
@@ -144,6 +152,7 @@ let create ~config ~id ~transport ~membership ~history =
       table = Table.create ~node:id;
       ownership = None;
       commit = None;
+      locality = None;
       ds = Resource.create engine ~servers:config.Config.ds_threads;
       rng = Engine.fork_rng engine;
       history;
@@ -176,6 +185,25 @@ let create ~config ~id ~transport ~membership ~history =
       transport
   in
   t.ownership <- Some ownership;
+  if config.Config.locality.Loc.Engine.enabled then begin
+    let loc =
+      Loc.Engine.create ~config:config.Config.locality ~node:id
+        ~nodes:config.Config.nodes ~engine ~transport ~agent:ownership
+        ~is_owner:(fun key ->
+          match Table.find t.table key with
+          | Some obj -> Obj.is_owner obj && obj.Obj.o_state = Types.O_valid
+          | None -> false)
+        ()
+    in
+    t.locality <- Some loc;
+    Own.Agent.set_observer ownership
+      {
+        Own.Agent.on_request =
+          (fun ~key ~kind ~requester -> Loc.Engine.note_request loc ~key ~kind ~requester);
+        on_owner_change =
+          (fun ~key ~owner -> Loc.Engine.note_owner_change loc ~key ~owner);
+      }
+  end;
   let com_cb =
     {
       Com.Agent.on_freed = (fun key -> Own.Agent.forget_object ownership key);
@@ -192,7 +220,12 @@ let create ~config ~id ~transport ~membership ~history =
       Resource.submit t.ds ~service:(payload_cost config payload) (fun () ->
           if not (Own.Agent.handle ownership ~src payload) then
             if not (Com.Agent.handle commit ~src payload) then
-              match t.app_handler with Some fn -> fn ~src payload | None -> ()));
+              if
+                not
+                  (match t.locality with
+                  | Some loc -> Loc.Engine.handle loc ~src payload
+                  | None -> false)
+              then match t.app_handler with Some fn -> fn ~src payload | None -> ()));
   t
 
 (* A rejoining node comes back as a fresh incarnation (§3.1 crash-stop):
@@ -282,6 +315,7 @@ let note_read ctx key =
 let ensure_owner ctx key k =
   guard ctx (fun () ->
       let t = ctx.node in
+      note_local_access t ~key ~write:true;
       match Table.find t.table key with
       | Some obj when Obj.is_owner obj && obj.Obj.o_state = Types.O_valid -> k ()
       | Some obj when obj.Obj.o_state <> Types.O_valid ->
@@ -306,6 +340,7 @@ let ensure_owner ctx key k =
 let read ctx key k =
   guard ctx (fun () ->
       if Txn.is_read_only ctx.txn then begin
+        note_local_access ctx.node ~key ~write:false;
         note_read ctx key;
         match Txn.open_read ctx.txn key with
         | Ok v -> k v

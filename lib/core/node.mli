@@ -46,6 +46,10 @@ val engine : t -> Zeus_sim.Engine.t
 val config : t -> Config.t
 val ownership_agent : t -> Zeus_ownership.Agent.t
 val commit_agent : t -> Zeus_commit.Agent.t
+
+(** The predictive locality engine, when [config.locality.enabled];
+    [None] means placement is exactly the seed's reactive behaviour. *)
+val locality : t -> Zeus_locality.Engine.t option
 val ds : t -> Zeus_sim.Resource.t
 val is_alive : t -> bool
 

@@ -5,6 +5,7 @@ let all : (string * string * (quick:bool -> unit)) list =
     ("table2", "Table 2: benchmark summary", Table2.run);
     ("verify", "exhaustive model checking of both protocols", Verify.run);
     ("locality", "remote-transaction fractions (Boston, Venmo, TPC-C)", Locality.run);
+    ("predictive", "locality engine: reactive vs predictive placement", Predictive.run);
     ("fig7", "Handovers: ideal vs Zeus, 2.5%/5%", Fig7.run);
     ("fig8", "Smallbank vs remote write transactions", Fig8.run);
     ("fig9", "TATP vs remote write transactions", Fig9.run);

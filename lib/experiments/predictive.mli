@@ -1,0 +1,32 @@
+(** Reactive vs predictive ownership placement: the locality engine driven
+    end-to-end on a trajectory (handover) workload, a two-node hot-key
+    contention workload, and a uniform no-regression check. *)
+
+type arm = {
+  committed : int;
+  remote : int;   (** committed write txns that needed an ownership request *)
+  p50 : float;
+  p99 : float;
+  hits : int;
+  misses : int;
+  hints : int;
+  pins : int;
+  reassigns : int;
+}
+
+type results = {
+  quick : bool;
+  trajectory : arm * arm;  (** (reactive, predictive) *)
+  skew : arm * arm;
+  uniform : arm * arm;
+}
+
+val remote_fraction : arm -> float
+val hit_rate : arm -> float
+
+val compute : quick:bool -> results
+val run : quick:bool -> unit
+
+val last_results : unit -> results option
+(** The most recent [run]'s results — the bench harness reads these to emit
+    [BENCH_locality.json]. *)

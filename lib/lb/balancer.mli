@@ -26,9 +26,21 @@ val set_backends : t -> Zeus_net.Msg.node_id list -> unit
 (** Scale-out / scale-in: future assignments use the new backend set
     (existing assignments are sticky). *)
 
+val set_placement_hint : t -> (int -> Zeus_net.Msg.node_id option) -> unit
+(** Placement-engine override consulted before the sticky map — wire to
+    {!Zeus_locality.Engine.route_for_key} so transactions on a key the
+    locality planner pinned follow the pin immediately.  [None] falls
+    through to normal routing. *)
+
 val reassign : t -> key:int -> Zeus_net.Msg.node_id -> (unit -> unit) -> unit
-(** Explicitly re-pin a key (e.g. spreading a hot object, §2.2). *)
+(** Explicitly re-pin a key (e.g. spreading a hot object §2.2, or a
+    locality-engine pin made durable). *)
 
 val handle : t -> src:Zeus_net.Msg.node_id -> Zeus_net.Msg.payload -> bool
 val hits : t -> int
 val misses : t -> int
+
+val hint_hits : t -> int
+(** Requests routed by the placement hint. *)
+
+val reassigns : t -> int

@@ -1,0 +1,207 @@
+module Sim = Zeus_sim.Engine
+module Stats = Zeus_sim.Stats
+module Transport = Zeus_net.Transport
+module Own = Zeus_ownership
+open Zeus_store
+
+type hint_kind = Hint_own | Hint_read
+
+type Zeus_net.Msg.payload +=
+  | L_hint of { key : Types.key; kind : hint_kind; from_ : Types.node_id }
+
+type config = {
+  enabled : bool;
+  log : Access_log.config;
+  predictor : Predictor.config;
+  planner : Planner.config;
+  migrator : Migrator.config;
+  idle_gap_us : float;
+}
+
+let default_config =
+  {
+    enabled = false;
+    log = Access_log.default_config;
+    predictor = Predictor.default_config;
+    planner = Planner.default_config;
+    migrator = Migrator.default_config;
+    idle_gap_us = 60.0;
+  }
+
+let enabled_default = { default_config with enabled = true }
+
+type t = {
+  config : config;
+  node : Types.node_id;
+  engine : Sim.t;
+  transport : Transport.t;
+  is_owner : Types.key -> bool;
+  log : Access_log.t;
+  predictor : Predictor.t;
+  planner : Planner.t;
+  migrator : Migrator.t;
+  counters : Stats.Counter.t;
+  last_access : (Types.key, float) Hashtbl.t;   (* local accesses on owned keys *)
+  idle_armed : (Types.key, unit) Hashtbl.t;     (* an idle check is scheduled *)
+  hinted : (Types.key, unit) Hashtbl.t;         (* hinted this ownership tenure *)
+  prefetched : (Types.key, unit) Hashtbl.t;     (* won by prefetch, unused yet *)
+  reacted_pins : (Types.key, float) Hashtbl.t;  (* pin deadlines already acted on *)
+  mutable on_pin : (key:Types.key -> target:Types.node_id -> unit) option;
+}
+
+let create ~config ~node ~nodes ~engine ~transport ~agent ~is_owner () =
+  {
+    config;
+    node;
+    engine;
+    transport;
+    is_owner;
+    log = Access_log.create ~config:config.log ~nodes ();
+    predictor = Predictor.create ~config:config.predictor ~nodes ();
+    planner = Planner.create ~config:config.planner ();
+    migrator = Migrator.create ~config:config.migrator ~agent ~engine ();
+    counters = Stats.Counter.create ();
+    last_access = Hashtbl.create 256;
+    idle_armed = Hashtbl.create 64;
+    hinted = Hashtbl.create 64;
+    prefetched = Hashtbl.create 32;
+    reacted_pins = Hashtbl.create 16;
+    on_pin = None;
+  }
+
+let access_log t = t.log
+let predictor t = t.predictor
+let planner t = t.planner
+let migrator t = t.migrator
+let counters t = t.counters
+
+let prefetch_hits t = Stats.Counter.get t.counters "prefetch_hits"
+let prefetch_misses t = Stats.Counter.get t.counters "prefetch_misses"
+let hints_sent t = Stats.Counter.get t.counters "hints_sent"
+let migrations_observed t = Stats.Counter.get t.counters "migrations_observed"
+
+let set_on_pin t f = t.on_pin <- Some f
+
+let route_for_key t key = Planner.pinned t.planner ~key ~now:(Sim.now t.engine)
+
+let send_hint t ~dst ~key ~kind =
+  Stats.Counter.incr t.counters
+    (match kind with Hint_own -> "hints_sent" | Hint_read -> "replicate_hints");
+  Transport.send t.transport ~src:t.node ~dst ~size:24
+    (L_hint { key; kind; from_ = t.node })
+
+(* ---------- planning: consult the planner once a held key goes idle ------ *)
+
+let plan_key t key =
+  if t.is_owner key && not (Hashtbl.mem t.hinted key) then begin
+    let now = Sim.now t.engine in
+    Stats.Counter.incr t.counters "plans";
+    match
+      Planner.decide t.planner ~predictor:t.predictor ~log:t.log ~key ~holder:t.node ~now
+    with
+    | Planner.Stay | Planner.Pin _ -> ()
+      (* a pin is acted on where the key lands (note_owner_change); while
+         pinned here, routing keeps the traffic here — nothing to execute *)
+    | Planner.Prefetch { target; _ } when target <> t.node ->
+      Hashtbl.replace t.hinted key ();
+      send_hint t ~dst:target ~key ~kind:Hint_own
+    | Planner.Prefetch _ -> ()
+    | Planner.Replicate target when target <> t.node ->
+      Hashtbl.replace t.hinted key ();
+      send_hint t ~dst:target ~key ~kind:Hint_read
+    | Planner.Replicate _ -> ()
+  end
+
+(* A check that lands within [slop] of the idle deadline counts as idle:
+   re-arming by the exact float remainder can round to a zero delay and
+   refire at the same instant forever. *)
+let idle_slop_us = 0.5
+
+let rec arm_idle_check t key ~after =
+  if not (Hashtbl.mem t.idle_armed key) then begin
+    Hashtbl.replace t.idle_armed key ();
+    ignore
+      (Sim.schedule t.engine ~after (fun () ->
+           Hashtbl.remove t.idle_armed key;
+           match Hashtbl.find_opt t.last_access key with
+           | None -> ()
+           | Some last ->
+             let remaining =
+               t.config.idle_gap_us -. (Sim.now t.engine -. last)
+             in
+             if remaining <= idle_slop_us then plan_key t key
+             else arm_idle_check t key ~after:remaining))
+  end
+
+(* ---------- event feeds --------------------------------------------------- *)
+
+let note_local_access t ~key ~write =
+  let now = Sim.now t.engine in
+  Access_log.record t.log ~key ~node:t.node ~now;
+  if Hashtbl.mem t.prefetched key then begin
+    Hashtbl.remove t.prefetched key;
+    Stats.Counter.incr t.counters "prefetch_hits"
+  end;
+  if write then begin
+    Hashtbl.replace t.last_access key now;
+    arm_idle_check t key ~after:t.config.idle_gap_us
+  end
+
+let note_request t ~key ~kind ~requester =
+  let now = Sim.now t.engine in
+  Access_log.record t.log ~key ~node:requester ~now;
+  match kind with
+  | Own.Messages.Add_reader -> Planner.note_read_interest t.planner ~key ~node:requester
+  | Own.Messages.Acquire | Own.Messages.Remove_reader _ -> ()
+
+let note_owner_change t ~key ~owner =
+  let now = Sim.now t.engine in
+  Stats.Counter.incr t.counters "migrations_observed";
+  Predictor.note_owner t.predictor ~key ~owner ~now;
+  Planner.note_migration t.planner ~key ~owner ~now;
+  if owner <> t.node then begin
+    Hashtbl.remove t.hinted key;
+    Hashtbl.remove t.last_access key;
+    if Hashtbl.mem t.prefetched key then begin
+      Hashtbl.remove t.prefetched key;
+      Stats.Counter.incr t.counters "prefetch_misses"
+    end
+  end
+  else Hashtbl.remove t.hinted key;
+  (* A fresh pin whose target is this node re-routes at the source. *)
+  match Planner.pinned t.planner ~key ~now with
+  | Some target when target = t.node -> (
+    let deadline_known =
+      match Hashtbl.find_opt t.reacted_pins key with
+      | Some d -> now < d
+      | None -> false
+    in
+    if not deadline_known then begin
+      Hashtbl.replace t.reacted_pins key (now +. t.config.planner.Planner.pin_us);
+      Stats.Counter.incr t.counters "pins_applied";
+      match t.on_pin with Some f -> f ~key ~target | None -> ()
+    end)
+  | Some _ | None -> ()
+
+(* ---------- hint handling ------------------------------------------------- *)
+
+let handle t ~src:_ = function
+  | L_hint { key; kind; from_ = _ } ->
+    (match kind with
+    | Hint_own ->
+      Stats.Counter.incr t.counters "hints_received";
+      let pinned_elsewhere =
+        match route_for_key t key with Some n -> n <> t.node | None -> false
+      in
+      if (not pinned_elsewhere) && not (t.is_owner key) then
+        ignore
+          (Migrator.prefetch t.migrator ~key ~k:(fun result ->
+               match result with
+               | Ok () -> Hashtbl.replace t.prefetched key ()
+               | Error _ -> ()))
+    | Hint_read ->
+      Stats.Counter.incr t.counters "replicate_hints_received";
+      if not (t.is_owner key) then
+        ignore (Migrator.add_reader t.migrator ~key ~k:(fun _ -> ())));
+    true
+  | _ -> false

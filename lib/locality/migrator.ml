@@ -1,0 +1,80 @@
+module Engine = Zeus_sim.Engine
+module Own = Zeus_ownership
+open Zeus_store
+
+type config = { bucket : float; refill_per_ms : float }
+
+let default_config = { bucket = 8.0; refill_per_ms = 2.0 }
+
+type t = {
+  config : config;
+  agent : Own.Agent.t;
+  engine : Engine.t;
+  inflight : (Types.key, unit) Hashtbl.t;
+  mutable level : float;
+  mutable refilled_at : float;
+  mutable n_issued : int;
+  mutable n_won : int;
+  mutable n_refused : int;
+  mutable n_limited : int;
+}
+
+let create ?(config = default_config) ~agent ~engine () =
+  {
+    config;
+    agent;
+    engine;
+    inflight = Hashtbl.create 32;
+    level = config.bucket;
+    refilled_at = Engine.now engine;
+    n_issued = 0;
+    n_won = 0;
+    n_refused = 0;
+    n_limited = 0;
+  }
+
+let refill t =
+  let now = Engine.now t.engine in
+  let dt_ms = (now -. t.refilled_at) /. 1_000.0 in
+  if dt_ms > 0.0 then begin
+    t.level <- Float.min t.config.bucket (t.level +. (dt_ms *. t.config.refill_per_ms));
+    t.refilled_at <- now
+  end
+
+let take t =
+  refill t;
+  if t.level >= 1.0 then begin
+    t.level <- t.level -. 1.0;
+    true
+  end
+  else begin
+    t.n_limited <- t.n_limited + 1;
+    false
+  end
+
+let request t ~key ~kind ~k =
+  if Hashtbl.mem t.inflight key then false
+  else if not (take t) then false
+  else begin
+    Hashtbl.replace t.inflight key ();
+    t.n_issued <- t.n_issued + 1;
+    Own.Agent.request t.agent ~key ~kind ~k:(fun result ->
+        Hashtbl.remove t.inflight key;
+        (match result with
+        | Ok () -> t.n_won <- t.n_won + 1
+        | Error _ -> t.n_refused <- t.n_refused + 1);
+        k result);
+    true
+  end
+
+let prefetch t ~key ~k = request t ~key ~kind:Own.Messages.Acquire ~k
+let add_reader t ~key ~k = request t ~key ~kind:Own.Messages.Add_reader ~k
+
+let issued t = t.n_issued
+let won t = t.n_won
+let refused t = t.n_refused
+let rate_limited t = t.n_limited
+
+let tokens t =
+  refill t;
+  t.level

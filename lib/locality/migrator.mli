@@ -1,0 +1,50 @@
+(** Plan execution, rate-limited.
+
+    Plans become {e ordinary} ownership requests through
+    {!Zeus_ownership.Agent.request} — a prefetch is indistinguishable from a
+    reactive acquire on the wire, so every protocol guarantee (arbitration,
+    recovery, single-owner) carries over unchanged.  A token bucket caps the
+    request rate so speculative traffic never starves foreground
+    transactions: when the bucket is empty the plan is simply dropped
+    (prediction is best-effort; the reactive path remains correct). *)
+
+open Zeus_store
+
+type config = {
+  bucket : float;          (** burst capacity, in requests *)
+  refill_per_ms : float;   (** sustained prefetch budget, requests per ms *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  agent:Zeus_ownership.Agent.t ->
+  engine:Zeus_sim.Engine.t ->
+  unit ->
+  t
+
+val prefetch :
+  t -> key:Types.key -> k:((unit, Zeus_ownership.Messages.nack_reason) result -> unit) -> bool
+(** Acquire ownership of [key] at this node ahead of need.  Returns [false]
+    (and does nothing) when rate-limited or when an identical prefetch is
+    already in flight; otherwise [k] fires with the request's outcome. *)
+
+val add_reader :
+  t -> key:Types.key -> k:((unit, Zeus_ownership.Messages.nack_reason) result -> unit) -> bool
+(** Provision a reader replica at this node (read-mostly plans). *)
+
+(** Counters *)
+
+val issued : t -> int
+val won : t -> int
+
+val refused : t -> int
+(** NACKed or timed out. *)
+
+val rate_limited : t -> int
+
+val tokens : t -> float
+(** Current bucket level (tests). *)

@@ -1,0 +1,95 @@
+open Zeus_store
+
+type mode = Frequency | Directional | Auto
+
+type config = { mode : mode; history : int; min_confidence : float }
+
+let default_config = { mode = Auto; history = 4; min_confidence = 0.55 }
+
+type prediction = { target : Types.node_id; confidence : float; directional : bool }
+
+type track = {
+  mutable owners : (Types.node_id * float) list;  (* newest first, ≤ history *)
+  mutable dwell_us : float option;                (* EWMA inter-migration gap *)
+}
+
+type t = {
+  config : config;
+  nodes : int;
+  tracks : (Types.key, track) Hashtbl.t;
+}
+
+let create ?(config = default_config) ~nodes () =
+  { config; nodes; tracks = Hashtbl.create 256 }
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let note_owner t ~key ~owner ~now =
+  let tr =
+    match Hashtbl.find_opt t.tracks key with
+    | Some tr -> tr
+    | None ->
+      let tr = { owners = []; dwell_us = None } in
+      (* the track table inherits the access log's bound rationale: keys
+         whose moves we no longer remember simply fall back to frequency *)
+      if Hashtbl.length t.tracks >= 8_192 then Hashtbl.reset t.tracks;
+      Hashtbl.replace t.tracks key tr;
+      tr
+  in
+  match tr.owners with
+  | (prev, _) :: _ when prev = owner -> ()  (* re-confirmation, no move *)
+  | (_, at) :: _ ->
+    let gap = now -. at in
+    tr.dwell_us <-
+      Some (match tr.dwell_us with None -> gap | Some d -> (0.5 *. d) +. (0.5 *. gap));
+    tr.owners <- take t.config.history ((owner, now) :: tr.owners)
+  | [] -> tr.owners <- [ (owner, now) ]
+
+let directional_prediction t key =
+  match Hashtbl.find_opt t.tracks key with
+  | None -> None
+  | Some tr -> (
+    match tr.owners with
+    | (o3, _) :: (o2, _) :: rest ->
+      let d1 = (o3 - o2 + t.nodes) mod t.nodes in
+      let consistent =
+        match rest with
+        | (o1, _) :: _ -> (o2 - o1 + t.nodes) mod t.nodes = d1
+        | [] -> false
+      in
+      if d1 <> 0 && consistent then
+        (* two consecutive moves with the same delta: strong pattern *)
+        Some { target = (o3 + d1) mod t.nodes; confidence = 0.9; directional = true }
+      else None
+    | _ -> None)
+
+let frequency_prediction ~log ~key ~now =
+  match Access_log.top_node log ~key ~now with
+  | None -> None
+  | Some (node, r) ->
+    let tot = Access_log.total log ~key ~now in
+    if tot <= 0.0 then None
+    else Some { target = node; confidence = r /. tot; directional = false }
+
+let predict t ~log ~key ~now =
+  let p =
+    match t.config.mode with
+    | Directional -> directional_prediction t key
+    | Frequency -> frequency_prediction ~log ~key ~now
+    | Auto -> (
+      match directional_prediction t key with
+      | Some _ as p -> p
+      | None -> frequency_prediction ~log ~key ~now)
+  in
+  match p with
+  | Some pr when pr.confidence >= t.config.min_confidence -> p
+  | Some _ | None -> None
+
+let expected_dwell_us t ~key =
+  match Hashtbl.find_opt t.tracks key with Some tr -> tr.dwell_us | None -> None
+
+let forget t ~key = Hashtbl.remove t.tracks key
+let tracked t = Hashtbl.length t.tracks

@@ -1,0 +1,51 @@
+(** Next-accessor prediction.
+
+    Two modes, combined per key:
+
+    - {e directional} (mobility-aware): the predictor watches each key's
+      owner trajectory.  A key whose last ownership moves step by a constant
+      node delta (a commuter crossing tiles: shard [h] → [h+1] → [h+2]) is
+      predicted to continue in that direction, with a dwell-time estimate
+      (EWMA of the observed inter-migration intervals) saying {e when};
+    - {e frequency}: otherwise the hottest accessor in the
+      {!Access_log} is the predicted next accessor, with confidence equal to
+      its share of the key's total rate.
+
+    The predictor is a deterministic function of the fed event sequence —
+    it draws no randomness, so two replicas fed the same events agree. *)
+
+open Zeus_store
+
+type mode = Frequency | Directional | Auto
+(** [Auto] tries the directional pattern first and falls back to frequency. *)
+
+type config = {
+  mode : mode;
+  history : int;          (** owner moves remembered per key (≥ 2) *)
+  min_confidence : float; (** predictions below this are suppressed *)
+}
+
+val default_config : config
+
+type prediction = {
+  target : Types.node_id;
+  confidence : float;       (** in [0, 1] *)
+  directional : bool;       (** [true] when the trajectory pattern fired *)
+}
+
+type t
+
+val create : ?config:config -> nodes:int -> unit -> t
+
+val note_owner : t -> key:Types.key -> owner:Types.node_id -> now:float -> unit
+(** Feed an observed ownership change (from the ownership agent). *)
+
+val predict : t -> log:Access_log.t -> key:Types.key -> now:float -> prediction option
+(** Predicted next accessor of [key], excluding nobody: callers compare
+    [target] against the current owner themselves. *)
+
+val expected_dwell_us : t -> key:Types.key -> float option
+(** EWMA of the key's inter-migration interval; [None] before two moves. *)
+
+val forget : t -> key:Types.key -> unit
+val tracked : t -> int

@@ -30,6 +30,12 @@ type config = {
   replay_sweep_us : float;
 }
 
+type observer = {
+  on_request :
+    key:Types.key -> kind:Messages.kind -> requester:Types.node_id -> unit;
+  on_owner_change : key:Types.key -> owner:Types.node_id -> unit;
+}
+
 let default_config =
   { request_timeout_us = 500.0; replay_after_us = 300.0; replay_sweep_us = 500.0 }
 
@@ -84,6 +90,9 @@ type t = {
   mutable n_timeout : int;
   mutable n_replays : int;
   mutable n_driven : int;
+  mutable observer : observer option;
+      (* locality engine's tap on arbitration traffic (passive: observing
+         never changes protocol behaviour) *)
 }
 
 let trace : (string -> unit) option ref = ref None
@@ -91,6 +100,17 @@ let tracef fmt = Format.kasprintf (fun s -> match !trace with Some f -> f s | No
 
 let node t = t.node
 let directory t = t.directory
+let set_observer t obs = t.observer <- Some obs
+
+let notify_request t ~key ~kind ~requester =
+  match t.observer with
+  | Some o -> o.on_request ~key ~kind ~requester
+  | None -> ()
+
+let notify_owner_change t ~key ~kind ~owner =
+  match (t.observer, kind) with
+  | Some o, Acquire -> o.on_owner_change ~key ~owner
+  | Some _, (Add_reader | Remove_reader _) | None, _ -> ()
 let latency_samples t = t.latency
 let requests_started t = t.n_started
 let requests_won t = t.n_won
@@ -165,6 +185,7 @@ let apply_pending_here t key (p : Directory.pending) =
     Hashtbl.remove t.side_pending key);
   Hashtbl.remove t.replays key;
   set_obj_ostate t key Types.O_valid;
+  notify_owner_change t ~key ~kind:p.Directory.kind ~owner:p.Directory.requester;
   if p.Directory.requester <> t.node then
     t.cb.apply_arbiter ~key ~kind:p.Directory.kind ~o_ts:p.Directory.o_ts ~replicas
       ~requester:p.Directory.requester
@@ -336,6 +357,7 @@ let requester_apply_and_val t ~req_id ~key ~kind ~o_ts ~replicas ~arbiters ~data
     Directory.clear_pending e
   | None -> Hashtbl.remove t.side_pending key);
   Hashtbl.remove t.replays key;
+  notify_owner_change t ~key ~kind ~owner:t.node;
   let e = epoch t in
   List.iter
     (fun a -> if a <> t.node then send t ~dst:a ~size:48 (O_val { key; o_ts; epoch = e }))
@@ -444,6 +466,7 @@ let handle_req t ~req_id ~key ~kind ~requester ~requester_has_data =
   if not (is_dir_for t key) then ()
   else (
     t.n_driven <- t.n_driven + 1;
+    notify_request t ~key ~kind ~requester;
     match Directory.find t.directory key with
     | None -> nack t ~dst:requester ~req_id ~key Unknown_key
     | Some entry ->
@@ -896,6 +919,7 @@ let create ?(config = default_config) ~node ~dir_nodes_of ~table ~membership ~ca
       n_timeout = 0;
       n_replays = 0;
       n_driven = 0;
+      observer = None;
     }
   in
   Service.subscribe membership node (fun v -> on_view_change t v);

@@ -60,6 +60,16 @@ type config = {
 
 val default_config : config
 
+(** Passive tap on arbitration traffic, for placement engines
+    ({!Zeus_locality}): observing never changes protocol behaviour. *)
+type observer = {
+  on_request : key:Types.key -> kind:Messages.kind -> requester:Types.node_id -> unit;
+      (** this node is driving a request (it sees every requester of the
+          keys it arbitrates for) *)
+  on_owner_change : key:Types.key -> owner:Types.node_id -> unit;
+      (** an [Acquire] validated at this node; [owner] is the new owner *)
+}
+
 type t
 
 val trace : (string -> unit) option ref
@@ -78,6 +88,9 @@ val create :
     payloads to {!handle}.  [create] subscribes to membership changes. *)
 
 val node : t -> Types.node_id
+
+val set_observer : t -> observer -> unit
+(** Install the (single) traffic observer. *)
 
 val directory : t -> Directory.t
 (** This node's directory shard: entries for the keys whose [dir_nodes_of]

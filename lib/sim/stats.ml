@@ -95,6 +95,26 @@ module Samples = struct
     end
 end
 
+module Counter = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let cell t name =
+    match Hashtbl.find_opt t name with
+    | Some c -> c
+    | None ->
+      let c = ref 0 in
+      Hashtbl.replace t name c;
+      c
+
+  let incr ?(by = 1) t name = cell t name := !(cell t name) + by
+  let get t name = match Hashtbl.find_opt t name with Some c -> !c | None -> 0
+
+  let to_list t =
+    List.sort compare (Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t [])
+end
+
 module Timeseries = struct
   type t = { bucket : float; table : (int, float) Hashtbl.t }
 

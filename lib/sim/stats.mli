@@ -35,6 +35,19 @@ module Samples : sig
   (** Snapshot of the stored samples (at most [cap]). *)
 end
 
+(** Named monotonic event counters (protocol/engine observability). *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> string -> unit
+  val get : t -> string -> int
+  (** Unknown names read as [0]. *)
+
+  val to_list : t -> (string * int) list
+  (** All counters, sorted by name. *)
+end
+
 (** Counts bucketed by virtual time — throughput timelines. *)
 module Timeseries : sig
   type t

@@ -9,6 +9,7 @@ let () =
       ("commit", Test_commit.suite);
       ("core", Test_core.suite);
       ("lb", Test_lb.suite);
+      ("locality", Test_locality.suite);
       ("baseline", Test_baseline.suite);
       ("workloads", Test_workloads.suite);
       ("apps", Test_apps.suite);
