@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-quick clean
+.PHONY: all build test check bench bench-quick bench-smoke clean
 
 all: build
 
@@ -19,6 +19,17 @@ bench:
 bench-quick:
 	dune exec bench/main.exe -- --quick
 
+# Quick transport ablation (batched vs unbatched) + sanity-check that the
+# machine-readable BENCH_transport.json came out well-formed.
+bench-smoke: build
+	rm -f BENCH_transport.json
+	dune exec bench/main.exe -- --quick transport
+	@test -s BENCH_transport.json || { echo "bench-smoke: BENCH_transport.json missing or empty" >&2; exit 1; }
+	@for key in smallbank handover unbatched batched messages_per_txn bytes_per_txn events_per_txn committed mean_occupancy; do \
+	  grep -q "\"$$key\"" BENCH_transport.json || { echo "bench-smoke: key \"$$key\" missing from BENCH_transport.json" >&2; exit 1; }; \
+	done
+	@echo "bench-smoke: BENCH_transport.json OK"
+
 clean:
 	dune clean
-	rm -f BENCH_locality.json
+	rm -f BENCH_locality.json BENCH_transport.json

@@ -180,6 +180,38 @@ let emit_locality_json path =
     close_out oc;
     Printf.printf "wrote %s\n%!" path
 
+(* Machine-readable results for the transport ablation (consumed by the
+   bench-smoke CI check). *)
+let emit_transport_json path =
+  match Zeus_experiments.Transport_ab.last_results () with
+  | None -> ()
+  | Some r ->
+    let module T = Zeus_experiments.Transport_ab in
+    let num x = if Float.is_finite x then Printf.sprintf "%.4f" x else "null" in
+    let arm (a : T.arm) =
+      Printf.sprintf
+        "{\"committed\": %d, \"mtps\": %s, \"abort_rate\": %s, \"p50_us\": %s, \
+         \"p99_us\": %s, \"messages\": %d, \"bytes\": %d, \"events\": %d, \
+         \"messages_per_txn\": %s, \"bytes_per_txn\": %s, \"events_per_txn\": %s, \
+         \"retransmissions\": %d, \"frames\": %d, \"payloads\": %d, \
+         \"mean_occupancy\": %s, \"acks_piggybacked\": %d, \"acks_standalone\": %d}"
+        a.T.committed (num a.T.mtps) (num a.T.abort_rate) (num a.T.p50) (num a.T.p99)
+        a.T.messages a.T.bytes a.T.events
+        (num (T.msgs_per_txn a))
+        (num (T.bytes_per_txn a))
+        (num (T.events_per_txn a))
+        a.T.retransmissions a.T.frames a.T.payloads (num a.T.mean_occupancy)
+        a.T.piggybacked_acks a.T.standalone_acks
+    in
+    let pair (unbatched, batched) =
+      Printf.sprintf "{\"unbatched\": %s, \"batched\": %s}" (arm unbatched) (arm batched)
+    in
+    let oc = open_out path in
+    Printf.fprintf oc "{\"quick\": %b,\n \"smallbank\": %s,\n \"handover\": %s}\n"
+      r.T.quick (pair r.T.smallbank) (pair r.T.handover);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
@@ -199,5 +231,6 @@ let () =
               (String.concat ", " (Zeus_experiments.Experiments.names ())))
         ids);
     emit_locality_json "BENCH_locality.json";
+    emit_transport_json "BENCH_transport.json";
     Printf.printf "\nAll experiments done.\n%!"
   end

@@ -71,6 +71,15 @@ let view t = Service.node_view t.membership t.node
 let live t n = View.is_live (view t) n
 let send t ~dst ?size payload = Transport.send t.transport ~src:t.node ~dst ?size payload
 
+(* Reliable-commit traffic (R-INV broadcasts, the ACK/VAL replies) is a
+   natural batch AND off the application's critical path: the caller's
+   commit callback fires at local commit (§5.2), so replication latency is
+   hidden by pipelining.  It therefore rides the transport's full flush
+   window — bursts from nearby activations coalesce into one frame per
+   follower — and the doorbell is rung only where extra delay could stall
+   recovery (replays on a view change). *)
+let doorbell t = Transport.flush t.transport t.node
+
 let inflight t =
   Hashtbl.fold (fun _ p acc -> acc + Hashtbl.length p.slots) t.pipelines 0
 
@@ -409,7 +418,8 @@ let on_view_change t (v : View.t) =
           Hashtbl.iter (fun _ si -> start_replay t si) fp.stored
         end)
       t.follower_pipes;
-    check_drained t
+    check_drained t;
+    doorbell t
   end
 
 (* Fresh-incarnation reset for a rejoining node. *)

@@ -45,6 +45,12 @@ type t = {
           exactly the paper's reactive behaviour *)
   fabric : Zeus_net.Fabric.config;
   transport : Zeus_net.Transport.config;
+      (** reliable-messaging layer; [transport.batching] (on by default)
+          coalesces same-destination protocol messages within
+          [transport.flush_window_us] into multi-payload frames with
+          cumulative acks — set [Zeus_net.Transport.unbatched] for the
+          historical one-frame-per-message behaviour (model checking,
+          ablations) *)
   ownership : Zeus_ownership.Agent.config;
   lease_us : float;
   detect_us : float;

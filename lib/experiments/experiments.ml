@@ -13,6 +13,7 @@ let all : (string * string * (quick:bool -> unit)) list =
     ("fig13-15", "legacy applications: gateway, SCTP, Nginx", Apps_figs.run);
     ("tpcc", "executed TPC-C (extension beyond the paper)", Tpcc_fig.run);
     ("ablations", "pipeline depth, replication degree, read-only, object size", Ablations.run);
+    ("transport", "batched vs unbatched reliable transport (messages/bytes/events per txn)", Transport_ab.run);
   ]
 
 let names () = List.map (fun (id, _, _) -> id) all

@@ -1,98 +1,513 @@
 module Engine = Zeus_sim.Engine
+module Stats = Zeus_sim.Stats
 
-type config = { rto_us : float; max_retries : int; dedup : bool }
-
-let default_config = { rto_us = 40.0; max_retries = 50; dedup = true }
-
-type Msg.payload +=
-  | Data of { seq : int; inner : Msg.payload; size : int }
-  | Ack of { seq : int }
-
-type pending = {
-  dst : Msg.node_id;
-  payload : Msg.payload;
-  size : int;
-  mutable retries : int;
-  mutable timer : Engine.event_id option;
+type config = {
+  rto_us : float;
+  max_retries : int;
+  dedup : bool;
+  batching : bool;
+  flush_window_us : float;
+  delayed_ack_us : float;
+  max_batch : int;
+  max_ooo : int;
 }
 
-type peer_state = {
+let default_config =
+  {
+    rto_us = 40.0;
+    max_retries = 50;
+    dedup = true;
+    batching = true;
+    flush_window_us = 2.0;
+    delayed_ack_us = 8.0;
+    max_batch = 32;
+    max_ooo = 512;
+  }
+
+let unbatched config = { config with batching = false }
+
+(* Wire framing.  A [Batch] replaces N [Data]+[Ack] pairs: its size is the
+   sum of its payloads plus one header, and it piggybacks the cumulative
+   ack of the reverse-direction flow.  [inc] is the sender incarnation of
+   the flow: it is bumped whenever a flow is reset (endpoint crash, or the
+   sender giving up on an undeliverable window), so frames and acks of a
+   previous incarnation can never be confused with the fresh stream that
+   restarts at sequence 0. *)
+let batch_header_bytes = 24
+let ack_bytes = 16
+
+type Msg.payload +=
+  | Data of { seq : int; inc : int; inner : Msg.payload; size : int }
+  | Ack of { seq : int; inc : int }
+  | Batch of {
+      inc : int;
+      first_seq : int;
+      items : (Msg.payload * int) list;
+      ack : int;  (** cumulative ack for the reverse flow *)
+      ack_inc : int;
+    }
+  | Ack_cum of { upto : int; inc : int }
+
+(* Legacy (unbatched) per-message in-flight record. *)
+type pending = {
+  p_dst : Msg.node_id;
+  p_payload : Msg.payload;
+  p_size : int;
+  mutable p_retries : int;
+  mutable p_timer : Engine.event_id option;
+}
+
+(* One directed flow src->dst.  The record holds both the sender-side state
+   (living at [src]) and the receiver-side state (living at [dst]); in the
+   simulator they share a cell, on real hardware they would be split. *)
+type flow = {
+  f_src : Msg.node_id;
+  f_dst : Msg.node_id;
+  (* ---- sender side (at src) ---- *)
+  mutable tx_inc : int;
   mutable next_seq : int;
-  (* seq -> in-flight message awaiting ack *)
-  inflight : (int, pending) Hashtbl.t;
-  (* seqs already delivered to the application (receive side) *)
-  seen : (int, unit) Hashtbl.t;
+  mutable acked_upto : int;  (* cumulative: all seqs <= this are acked *)
+  mutable flushed_upto : int;  (* all seqs <= this have hit the fabric once *)
+  buffer : (int, Msg.payload * int) Hashtbl.t;  (* batched: unacked window *)
+  inflight : (int, pending) Hashtbl.t;  (* legacy: per-message records *)
+  mutable queued : bool;  (* on the source node's dirty list *)
+  mutable rto_ev : Engine.event_id option;
+  mutable rto_progress_at : float;  (* last time the window advanced *)
+  mutable tx_retries : int;
+  (* ---- receiver side (at dst) ---- *)
+  mutable rx_inc : int;  (* sender incarnation currently accepted *)
+  mutable watermark : int;  (* all seqs <= this delivered (cumulative) *)
+  ooo : (int, Msg.payload * int) Hashtbl.t;
+      (* batched: out-of-order payloads held for in-order delivery *)
+  seen_ahead : (int, unit) Hashtbl.t;
+      (* legacy: seqs delivered above the watermark (bounded by the
+         in-flight span instead of the old ever-growing [seen] table) *)
+  mutable rx_acked_upto : int;  (* highest watermark ever acked back *)
+  mutable ack_owed : bool;
+  mutable dack_ev : Engine.event_id option;
 }
 
 type t = {
   fabric : Fabric.t;
   config : config;
   handlers : (src:Msg.node_id -> Msg.payload -> unit) option array;
-  (* peers.(src).(dst) — sender and receiver state for the src->dst flow *)
-  peers : peer_state array array;
+  flows : flow array array;  (* flows.(src).(dst) *)
+  (* One flush event per NODE, serving every dirty flow it sources: a
+     protocol burst to K peers costs one engine event, not K. *)
+  dirty : flow list ref array;
+  node_flush_ev : Engine.event_id option array;
   mutable retransmissions : int;
+  mutable frames_sent : int;
+  mutable payloads_sent : int;
+  mutable acks_piggybacked : int;
+  mutable acks_standalone : int;
+  occupancy : Stats.Summary.t;
 }
 
-let fresh_peer () =
-  { next_seq = 0; inflight = Hashtbl.create 16; seen = Hashtbl.create 64 }
+type stats = {
+  frames : int;
+  payloads : int;
+  retransmitted : int;
+  piggybacked_acks : int;
+  standalone_acks : int;
+  mean_occupancy : float;
+  max_occupancy : float;
+}
+
+let fresh_flow ~src ~dst =
+  {
+    f_src = src;
+    f_dst = dst;
+    tx_inc = 0;
+    next_seq = 0;
+    acked_upto = -1;
+    flushed_upto = -1;
+    buffer = Hashtbl.create 16;
+    inflight = Hashtbl.create 16;
+    queued = false;
+    rto_ev = None;
+    rto_progress_at = 0.0;
+    tx_retries = 0;
+    rx_inc = 0;
+    watermark = -1;
+    ooo = Hashtbl.create 16;
+    seen_ahead = Hashtbl.create 16;
+    rx_acked_upto = -1;
+    ack_owed = false;
+    dack_ev = None;
+  }
 
 let fabric t = t.fabric
+let engine t = Fabric.engine t.fabric
 let retransmissions t = t.retransmissions
+
+let stats t =
+  {
+    frames = t.frames_sent;
+    payloads = t.payloads_sent;
+    retransmitted = t.retransmissions;
+    piggybacked_acks = t.acks_piggybacked;
+    standalone_acks = t.acks_standalone;
+    mean_occupancy = Stats.Summary.mean t.occupancy;
+    max_occupancy =
+      (if Stats.Summary.count t.occupancy = 0 then 0.0 else Stats.Summary.max t.occupancy);
+  }
+
 let set_handler t node fn = t.handlers.(node) <- Some fn
 
 let deliver t ~dst ~src inner =
   match t.handlers.(dst) with Some fn -> fn ~src inner | None -> ()
 
-let cancel_timer t p =
-  match p.timer with
+(* Introspection for the property tests: bounded-state invariants. *)
+let tx_backlog t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc fl -> acc + Hashtbl.length fl.buffer + Hashtbl.length fl.inflight)
+        acc row)
+    0 t.flows
+
+let rx_backlog t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc fl -> acc + Hashtbl.length fl.ooo + Hashtbl.length fl.seen_ahead)
+        acc row)
+    0 t.flows
+
+(* ---------- timer plumbing ------------------------------------------------ *)
+(* Every timer field is nulled as the first action of its callback, so a
+   later [Engine.cancel] can never double-cancel an already-fired event. *)
+
+let cancel_node_flush t node =
+  match t.node_flush_ev.(node) with
   | Some ev ->
-    Engine.cancel (Fabric.engine t.fabric) ev;
-    p.timer <- None
+    Engine.cancel (engine t) ev;
+    t.node_flush_ev.(node) <- None
   | None -> ()
 
-let rec arm_retransmit t ~src seq p =
-  let engine = Fabric.engine t.fabric in
-  p.timer <-
+let cancel_rto t fl =
+  match fl.rto_ev with
+  | Some ev ->
+    Engine.cancel (engine t) ev;
+    fl.rto_ev <- None
+  | None -> ()
+
+let cancel_dack t fl =
+  match fl.dack_ev with
+  | Some ev ->
+    Engine.cancel (engine t) ev;
+    fl.dack_ev <- None
+  | None -> ()
+
+let cancel_pending_timer t p =
+  match p.p_timer with
+  | Some ev ->
+    Engine.cancel (engine t) ev;
+    p.p_timer <- None
+  | None -> ()
+
+(* ---------- flow resets (crash, recover, sender give-up) ----------------- *)
+
+(* Drop the sender side of a flow and start a fresh incarnation: the next
+   message goes out as seq 0 of [tx_inc + 1], which the receiver adopts by
+   resetting its window, so the new stream is never mistaken for duplicates
+   of the old one. *)
+let reset_tx t fl =
+  cancel_rto t fl;
+  Hashtbl.iter (fun _ p -> cancel_pending_timer t p) fl.inflight;
+  Hashtbl.reset fl.inflight;
+  Hashtbl.reset fl.buffer;
+  fl.tx_inc <- fl.tx_inc + 1;
+  fl.next_seq <- 0;
+  fl.acked_upto <- -1;
+  fl.flushed_upto <- -1;
+  fl.tx_retries <- 0
+
+let clear_rx_window t fl =
+  cancel_dack t fl;
+  Hashtbl.reset fl.ooo;
+  Hashtbl.reset fl.seen_ahead;
+  fl.watermark <- -1;
+  fl.rx_acked_upto <- -1;
+  fl.ack_owed <- false
+
+(* Receiver-side reset at a crash: also bump the accepted incarnation so
+   frames of the dead incarnation still in flight are ignored rather than
+   swallowing (or being swallowed by) the rejoined node's fresh seq 0.
+   Crash resets bump both ends of a flow by one, so tx_inc and rx_inc stay
+   in step; a sender give-up bumps tx_inc alone, which the receiver adopts
+   on the first frame of the new incarnation ([inc > rx_inc]). *)
+let reset_rx t fl =
+  clear_rx_window t fl;
+  fl.rx_inc <- fl.rx_inc + 1
+
+let adopt_rx t fl inc =
+  clear_rx_window t fl;
+  fl.rx_inc <- inc
+
+(* ---------- batched sender ------------------------------------------------ *)
+
+(* Pack seqs [lo..hi] of [fl] into frames of at most [max_batch] payloads.
+   Each frame piggybacks the freshest cumulative ack of the reverse flow,
+   which discharges any owed standalone ack. *)
+let send_window t fl ~lo ~hi =
+  let rev = t.flows.(fl.f_dst).(fl.f_src) in
+  let rec go lo =
+    if lo <= hi then begin
+      let n = min t.config.max_batch (hi - lo + 1) in
+      let items = List.init n (fun i -> Hashtbl.find fl.buffer (lo + i)) in
+      let size =
+        batch_header_bytes + List.fold_left (fun a (_, s) -> a + s) 0 items
+      in
+      let ack = rev.watermark in
+      if rev.ack_owed then begin
+        rev.ack_owed <- false;
+        t.acks_piggybacked <- t.acks_piggybacked + 1;
+        cancel_dack t rev
+      end;
+      if ack > rev.rx_acked_upto then rev.rx_acked_upto <- ack;
+      t.frames_sent <- t.frames_sent + 1;
+      t.payloads_sent <- t.payloads_sent + n;
+      Stats.Summary.add t.occupancy (float_of_int n);
+      Fabric.send t.fabric ~src:fl.f_src ~dst:fl.f_dst ~size
+        (Batch { inc = fl.tx_inc; first_seq = lo; items; ack; ack_inc = rev.rx_inc });
+      go (lo + n)
+    end
+  in
+  go lo
+
+let rec on_rto t fl =
+  fl.rto_ev <- None;
+  if Hashtbl.length fl.buffer > 0 then begin
+    let now = Engine.now (engine t) in
+    let deadline = fl.rto_progress_at +. t.config.rto_us in
+    if deadline > now +. 1e-9 then
+      (* The window advanced since this timer was armed: push the timer out
+         to the oldest-unacked deadline instead of retransmitting. *)
+      fl.rto_ev <-
+        Some (Engine.schedule (engine t) ~after:(deadline -. now) (fun () -> on_rto t fl))
+    else if
+      not (Fabric.is_alive t.fabric fl.f_src && Fabric.is_alive t.fabric fl.f_dst)
+    then
+      (* A dead endpoint is the membership service's problem, not ours. *)
+      reset_tx t fl
+    else if fl.tx_retries >= t.config.max_retries then reset_tx t fl
+    else begin
+      (* Go-back-N: resend the whole unacked window as one burst (any
+         not-yet-flushed tail included — it is leaving now anyway). *)
+      fl.tx_retries <- fl.tx_retries + 1;
+      let lo = fl.acked_upto + 1 and hi = fl.next_seq - 1 in
+      t.retransmissions <- t.retransmissions + (hi - lo + 1);
+      send_window t fl ~lo ~hi;
+      fl.flushed_upto <- hi;
+      fl.rto_progress_at <- now;
+      fl.rto_ev <-
+        Some (Engine.schedule (engine t) ~after:t.config.rto_us (fun () -> on_rto t fl))
+    end
+  end
+
+let flush_flow t fl =
+  let lo = fl.flushed_upto + 1 and hi = fl.next_seq - 1 in
+  if lo <= hi then begin
+    send_window t fl ~lo ~hi;
+    fl.flushed_upto <- hi;
+    if fl.rto_ev = None then begin
+      fl.rto_progress_at <- Engine.now (engine t);
+      fl.rto_ev <-
+        Some (Engine.schedule (engine t) ~after:t.config.rto_us (fun () -> on_rto t fl))
+    end
+  end
+
+let flush_node t node =
+  let flows = !(t.dirty.(node)) in
+  t.dirty.(node) := [];
+  List.iter
+    (fun fl ->
+      fl.queued <- false;
+      flush_flow t fl)
+    flows
+
+let schedule_node_flush t node ~after =
+  cancel_node_flush t node;
+  t.node_flush_ev.(node) <-
     Some
-      (Engine.schedule engine ~after:t.config.rto_us (fun () ->
-           p.timer <- None;
-           (* Still unacked: retransmit unless we've given up or either end
-              is dead (a dead peer is detected by membership, not us). *)
-           if Hashtbl.mem t.peers.(src).(p.dst).inflight seq then begin
+      (Engine.schedule (engine t) ~after (fun () ->
+           t.node_flush_ev.(node) <- None;
+           flush_node t node))
+
+let send_batched t fl ~size payload =
+  let seq = fl.next_seq in
+  fl.next_seq <- seq + 1;
+  Hashtbl.replace fl.buffer seq (payload, size);
+  if not fl.queued then begin
+    fl.queued <- true;
+    t.dirty.(fl.f_src) := fl :: !(t.dirty.(fl.f_src));
+    if t.node_flush_ev.(fl.f_src) = None then
+      schedule_node_flush t fl.f_src ~after:t.config.flush_window_us
+  end
+
+(* Doorbell: flush [node]'s unflushed frames at the end of the current
+   instant instead of waiting out the flush window.  Everything enqueued at
+   this timestamp (e.g. all sends of one protocol-handler activation) still
+   coalesces, but no latency is added.  A no-op with a zero window, where
+   every send already behaves this way. *)
+let flush t node =
+  if t.config.batching && t.config.flush_window_us > 0.0 then
+    match t.node_flush_ev.(node) with
+    | Some _ -> schedule_node_flush t node ~after:0.0
+    | None -> ()
+
+let apply_cum_ack t fl ~upto ~inc =
+  if inc = fl.tx_inc && upto > fl.acked_upto then begin
+    for s = fl.acked_upto + 1 to upto do
+      Hashtbl.remove fl.buffer s
+    done;
+    fl.acked_upto <- upto;
+    if fl.flushed_upto < upto then fl.flushed_upto <- upto;
+    fl.tx_retries <- 0;
+    fl.rto_progress_at <- Engine.now (engine t);
+    if Hashtbl.length fl.buffer = 0 then cancel_rto t fl
+  end
+
+(* ---------- batched receiver ---------------------------------------------- *)
+
+let rec drain_ooo t fl =
+  match Hashtbl.find_opt fl.ooo (fl.watermark + 1) with
+  | Some (payload, _) ->
+    Hashtbl.remove fl.ooo (fl.watermark + 1);
+    fl.watermark <- fl.watermark + 1;
+    deliver t ~dst:fl.f_dst ~src:fl.f_src payload;
+    drain_ooo t fl
+  | None -> ()
+
+let schedule_dack t fl =
+  if fl.dack_ev = None then
+    fl.dack_ev <-
+      Some
+        (Engine.schedule (engine t) ~after:t.config.delayed_ack_us (fun () ->
+             fl.dack_ev <- None;
+             if fl.ack_owed && Fabric.is_alive t.fabric fl.f_dst then begin
+               fl.ack_owed <- false;
+               if fl.watermark > fl.rx_acked_upto then fl.rx_acked_upto <- fl.watermark;
+               t.acks_standalone <- t.acks_standalone + 1;
+               Fabric.send t.fabric ~src:fl.f_dst ~dst:fl.f_src ~size:ack_bytes
+                 (Ack_cum { upto = fl.watermark; inc = fl.rx_inc })
+             end))
+
+let handle_batch t fl ~inc ~first_seq ~items =
+  if inc >= fl.rx_inc then begin
+    if inc > fl.rx_inc then adopt_rx t fl inc;
+    List.iteri
+      (fun i ((payload, _) as item) ->
+        let seq = first_seq + i in
+        if seq <= fl.watermark || Hashtbl.mem fl.ooo seq then begin
+          (* Duplicate (a retransmitted window overlapping delivery). *)
+          if not t.config.dedup then deliver t ~dst:fl.f_dst ~src:fl.f_src payload
+        end
+        else if seq = fl.watermark + 1 then begin
+          fl.watermark <- seq;
+          deliver t ~dst:fl.f_dst ~src:fl.f_src payload;
+          drain_ooo t fl
+        end
+        else if Hashtbl.length fl.ooo < t.config.max_ooo then
+          (* Ahead of the watermark: hold for in-order delivery; go-back-N
+             retransmission fills the gap.  Beyond [max_ooo] we drop and
+             rely on the retransmitted window instead — receive-side state
+             stays bounded no matter what the fault injection does. *)
+          Hashtbl.replace fl.ooo seq item)
+      items;
+    (* Any data frame earns an ack: fresh data to advance the cumulative
+       ack, and a fully-duplicate frame means our previous ack was lost. *)
+    fl.ack_owed <- true;
+    schedule_dack t fl
+  end
+
+(* ---------- legacy (unbatched) path --------------------------------------- *)
+(* Byte-for-byte the pre-batching behaviour: one Data frame per message,
+   one 16-byte Ack per Data frame received, one retransmit timer per
+   in-flight message — except that receive-side dedup now uses the
+   watermark + [seen_ahead] set (bounded by the in-flight span) instead of
+   an ever-growing table, and flow resets use incarnations. *)
+
+let rec arm_retransmit t fl seq p =
+  p.p_timer <-
+    Some
+      (Engine.schedule (engine t) ~after:t.config.rto_us (fun () ->
+           p.p_timer <- None;
+           if Hashtbl.mem fl.inflight seq then begin
              if
-               p.retries < t.config.max_retries
-               && Fabric.is_alive t.fabric src
-               && Fabric.is_alive t.fabric p.dst
+               p.p_retries < t.config.max_retries
+               && Fabric.is_alive t.fabric fl.f_src
+               && Fabric.is_alive t.fabric fl.f_dst
              then begin
-               p.retries <- p.retries + 1;
+               p.p_retries <- p.p_retries + 1;
                t.retransmissions <- t.retransmissions + 1;
-               Fabric.send t.fabric ~src ~dst:p.dst ~size:p.size
-                 (Data { seq; inner = p.payload; size = p.size });
-               arm_retransmit t ~src seq p
+               Fabric.send t.fabric ~src:fl.f_src ~dst:fl.f_dst ~size:p.p_size
+                 (Data { seq; inc = fl.tx_inc; inner = p.p_payload; size = p.p_size });
+               arm_retransmit t fl seq p
              end
-             else Hashtbl.remove t.peers.(src).(p.dst).inflight seq
+             else Hashtbl.remove fl.inflight seq
            end))
+
+let send_legacy t fl ~size payload =
+  let seq = fl.next_seq in
+  fl.next_seq <- seq + 1;
+  let p =
+    { p_dst = fl.f_dst; p_payload = payload; p_size = size; p_retries = 0; p_timer = None }
+  in
+  ignore p.p_dst;
+  Hashtbl.replace fl.inflight seq p;
+  t.frames_sent <- t.frames_sent + 1;
+  t.payloads_sent <- t.payloads_sent + 1;
+  Stats.Summary.add t.occupancy 1.0;
+  Fabric.send t.fabric ~src:fl.f_src ~dst:fl.f_dst ~size
+    (Data { seq; inc = fl.tx_inc; inner = payload; size });
+  arm_retransmit t fl seq p
+
+let handle_data_legacy t fl ~seq ~inc ~inner =
+  if inc >= fl.rx_inc then begin
+    if inc > fl.rx_inc then adopt_rx t fl inc;
+    t.acks_standalone <- t.acks_standalone + 1;
+    Fabric.send t.fabric ~src:fl.f_dst ~dst:fl.f_src ~size:ack_bytes
+      (Ack { seq; inc });
+    if t.config.dedup then begin
+      let dup = seq <= fl.watermark || Hashtbl.mem fl.seen_ahead seq in
+      if not dup then begin
+        if seq = fl.watermark + 1 then begin
+          fl.watermark <- seq;
+          while Hashtbl.mem fl.seen_ahead (fl.watermark + 1) do
+            Hashtbl.remove fl.seen_ahead (fl.watermark + 1);
+            fl.watermark <- fl.watermark + 1
+          done
+        end
+        else Hashtbl.replace fl.seen_ahead seq ();
+        deliver t ~dst:fl.f_dst ~src:fl.f_src inner
+      end
+    end
+    else deliver t ~dst:fl.f_dst ~src:fl.f_src inner
+  end
+
+let handle_ack_legacy t fl ~seq ~inc =
+  if inc = fl.tx_inc then
+    match Hashtbl.find_opt fl.inflight seq with
+    | Some p ->
+      cancel_pending_timer t p;
+      Hashtbl.remove fl.inflight seq
+    | None -> ()
+
+(* ---------- dispatch ------------------------------------------------------ *)
 
 let handle t ~dst ~src payload =
   match payload with
-  | Data { seq; inner; size = _ } ->
-    Fabric.send t.fabric ~src:dst ~dst:src ~size:16 (Ack { seq });
-    let rx = t.peers.(src).(dst) in
-    if t.config.dedup then begin
-      if not (Hashtbl.mem rx.seen seq) then begin
-        Hashtbl.replace rx.seen seq ();
-        deliver t ~dst ~src inner
-      end
-    end
-    else deliver t ~dst ~src inner
-  | Ack { seq } ->
-    (* [dst] is the original sender: clear its inflight entry. *)
-    let tx = t.peers.(dst).(src) in
-    (match Hashtbl.find_opt tx.inflight seq with
-    | Some p ->
-      cancel_timer t p;
-      Hashtbl.remove tx.inflight seq
-    | None -> ())
+  | Data { seq; inc; inner; size = _ } ->
+    handle_data_legacy t t.flows.(src).(dst) ~seq ~inc ~inner
+  | Ack { seq; inc } -> handle_ack_legacy t t.flows.(dst).(src) ~seq ~inc
+  | Batch { inc; first_seq; items; ack; ack_inc } ->
+    (* The piggybacked ack covers OUR data on the reverse flow dst->src. *)
+    apply_cum_ack t t.flows.(dst).(src) ~upto:ack ~inc:ack_inc;
+    handle_batch t t.flows.(src).(dst) ~inc ~first_seq ~items
+  | Ack_cum { upto; inc } -> apply_cum_ack t t.flows.(dst).(src) ~upto ~inc
   | other -> deliver t ~dst ~src other
 
 let create ?(config = default_config) fabric =
@@ -102,8 +517,15 @@ let create ?(config = default_config) fabric =
       fabric;
       config;
       handlers = Array.make n None;
-      peers = Array.init n (fun _ -> Array.init n (fun _ -> fresh_peer ()));
+      flows = Array.init n (fun src -> Array.init n (fun dst -> fresh_flow ~src ~dst));
+      dirty = Array.init n (fun _ -> ref []);
+      node_flush_ev = Array.make n None;
       retransmissions = 0;
+      frames_sent = 0;
+      payloads_sent = 0;
+      acks_piggybacked = 0;
+      acks_standalone = 0;
+      occupancy = Stats.Summary.create ();
     }
   in
   for node = 0 to n - 1 do
@@ -112,24 +534,44 @@ let create ?(config = default_config) fabric =
   t
 
 let send t ~src ~dst ?(size = 64) payload =
-  let tx = t.peers.(src).(dst) in
-  let seq = tx.next_seq in
-  tx.next_seq <- seq + 1;
-  let p = { dst; payload; size; retries = 0; timer = None } in
-  Hashtbl.replace tx.inflight seq p;
-  Fabric.send t.fabric ~src ~dst ~size (Data { seq; inner = payload; size });
-  arm_retransmit t ~src seq p
+  let fl = t.flows.(src).(dst) in
+  if t.config.batching then send_batched t fl ~size payload
+  else send_legacy t fl ~size payload
 
 let send_unreliable t ~src ~dst ?(size = 64) payload =
   Fabric.send t.fabric ~src ~dst ~size payload
 
+(* Crash cleanup is symmetric: the crashed node's own send windows AND
+   receive windows die with it, its peers stop retransmitting into the
+   void, and the peers' receive windows for the dead node's flows are
+   reset with an incarnation bump — so when the node rejoins as a fresh
+   incarnation restarting at seq 0, nothing is swallowed as a duplicate
+   and no straggler of the old incarnation is accepted. *)
+let drop_pending_flush t node =
+  cancel_node_flush t node;
+  List.iter (fun fl -> fl.queued <- false) !(t.dirty.(node));
+  t.dirty.(node) := []
+
 let crash t node =
   Fabric.crash t.fabric node;
+  drop_pending_flush t node;
   let n = Fabric.nodes t.fabric in
-  for dst = 0 to n - 1 do
-    let tx = t.peers.(node).(dst) in
-    Hashtbl.iter (fun _ p -> cancel_timer t p) tx.inflight;
-    Hashtbl.reset tx.inflight
+  for peer = 0 to n - 1 do
+    reset_tx t t.flows.(node).(peer);
+    reset_rx t t.flows.(node).(peer);
+    reset_tx t t.flows.(peer).(node);
+    reset_rx t t.flows.(peer).(node)
   done
 
-let recover t node = Fabric.recover t.fabric node
+let recover t node =
+  Fabric.recover t.fabric node;
+  drop_pending_flush t node;
+  let n = Fabric.nodes t.fabric in
+  for peer = 0 to n - 1 do
+    (* Anything enqueued while dead belongs to the dead incarnation. *)
+    reset_tx t t.flows.(node).(peer);
+    (* Come back with empty receive windows, keeping the accepted
+       incarnation: peers legitimately retransmit their post-crash sends
+       once we are back, and those must not be dropped as stale. *)
+    clear_rx_window t t.flows.(peer).(node)
+  done

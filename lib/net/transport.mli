@@ -1,21 +1,58 @@
 (** Reliable messaging over the unreliable {!Fabric}.
 
     The paper's datastore ships a custom reliable messaging library over
-    DPDK (§3.1, §7): low-level retransmission recovers lost messages, and
-    receivers deduplicate.  This module reproduces it: per-peer sequence
-    numbers, ack-driven retransmission, and (optionally) receive-side
-    deduplication.  Delivery is {e not} order-preserving — the Zeus
-    protocols are designed to tolerate reordering, and tests can disable
-    dedup to exercise their idempotency against duplication too. *)
+    DPDK (§3.1, §7): low-level retransmission recovers lost messages,
+    receivers deduplicate, and protocol messages to the same peer are
+    coalesced into batched frames to amortize per-frame overheads.  This
+    module reproduces it with two modes:
+
+    {b Batched} (default, [batching = true]): messages to the same
+    destination enqueued within [flush_window_us] (or within one simulator
+    instant — the "doorbell") are packed into a single multi-payload
+    [Batch] frame whose fabric size is the sum of its parts plus one
+    header.  The receiver delivers in order behind a cumulative watermark,
+    holding a bounded out-of-order window, and acks the highest in-order
+    sequence — piggybacked on reverse-direction batches when possible,
+    via a delayed-ack timer otherwise.  Retransmission is go-back-N with
+    a single RTO timer per peer flow.  Delivery is order-preserving per
+    flow.
+
+    {b Legacy} ([batching = false]): the pre-batching behaviour — one
+    [Data] frame per message, one 16-byte [Ack] per frame received, one
+    retransmit timer per in-flight message, and delivery that is {e not}
+    order-preserving.  Message counts on the fabric are identical to the
+    historical transport; only the receive-side dedup bookkeeping changed
+    from an unbounded table to a watermark plus bounded set.
+
+    Flows carry incarnation numbers: any reset (endpoint crash, sender
+    give-up) bumps the incarnation, so a rejoined node restarting at
+    sequence 0 is never swallowed as a duplicate and stragglers from the
+    old incarnation are ignored. *)
 
 type config = {
-  rto_us : float;      (** retransmission timeout *)
-  max_retries : int;   (** give up after this many retransmissions (a crashed
-                           peer is the membership service's problem) *)
-  dedup : bool;        (** deduplicate on the receive side *)
+  rto_us : float;  (** retransmission timeout *)
+  max_retries : int;
+      (** give up after this many retransmissions (a crashed peer is the
+          membership service's problem) *)
+  dedup : bool;  (** deduplicate on the receive side *)
+  batching : bool;  (** coalesce frames + cumulative acks (default on) *)
+  flush_window_us : float;
+      (** how long an enqueued message may wait for companions before its
+          flow is flushed; 0 = flush at the end of the current instant *)
+  delayed_ack_us : float;
+      (** how long the receiver withholds a standalone cumulative ack
+          hoping to piggyback it on reverse-direction data *)
+  max_batch : int;  (** max payloads packed into one [Batch] frame *)
+  max_ooo : int;
+      (** receive-side out-of-order window; payloads beyond it are dropped
+          and recovered by retransmission, keeping state bounded *)
 }
 
 val default_config : config
+
+val unbatched : config -> config
+(** [unbatched c] is [c] with [batching = false] — the historical
+    one-frame-per-message transport, for ablations. *)
 
 type t
 
@@ -29,17 +66,47 @@ val set_handler : t -> Msg.node_id -> (src:Msg.node_id -> Msg.payload -> unit) -
 
 val send : t -> src:Msg.node_id -> dst:Msg.node_id -> ?size:int -> Msg.payload -> unit
 (** Reliable send: retransmits until acknowledged or [max_retries] is
-    exhausted. *)
+    exhausted.  In batched mode the payload is queued on the per-peer flow
+    and leaves with the next flush. *)
+
+val flush : t -> Msg.node_id -> unit
+(** Doorbell: flush [node]'s pending outgoing frames at the end of the
+    current simulator instant instead of waiting out the flush window.
+    All sends enqueued at the current timestamp still coalesce; no latency
+    is added.  Protocol agents ring this after a fan-out burst.  No-op in
+    legacy mode or with a zero flush window. *)
 
 val send_unreliable : t -> src:Msg.node_id -> dst:Msg.node_id -> ?size:int -> Msg.payload -> unit
 (** Plain fabric send, bypassing retransmission (used for traffic where the
     protocol layer has its own replay, and in tests). *)
 
 val crash : t -> Msg.node_id -> unit
-(** Crash the node at fabric level and drop its transport state (pending
-    retransmissions, dedup windows). *)
+(** Crash the node at fabric level and reset transport state {e
+    symmetrically}: the node's own send and receive windows, its peers'
+    retransmission state toward it, and its peers' receive windows for its
+    flows (with an incarnation bump, so the rejoined node's fresh sequence
+    0 is not deduplicated away). *)
 
 val recover : t -> Msg.node_id -> unit
 
 val retransmissions : t -> int
-(** Total retransmitted messages (observability for tests/benches). *)
+(** Total retransmitted payloads (observability for tests/benches). *)
+
+type stats = {
+  frames : int;  (** data frames handed to the fabric *)
+  payloads : int;  (** protocol payloads carried by those frames *)
+  retransmitted : int;
+  piggybacked_acks : int;  (** cumulative acks carried by reverse data *)
+  standalone_acks : int;  (** dedicated ack frames (incl. legacy per-message) *)
+  mean_occupancy : float;  (** mean payloads per data frame *)
+  max_occupancy : float;
+}
+
+val stats : t -> stats
+
+val tx_backlog : t -> int
+(** Total unacknowledged sender-side payloads across all flows (0 once the
+    network is quiescent — bounded-state invariant for property tests). *)
+
+val rx_backlog : t -> int
+(** Total receive-side out-of-order/dedup entries across all flows. *)

@@ -124,6 +124,12 @@ let view t = Service.node_view t.membership t.node
 let live t n = View.is_live (view t) n
 let send t ~dst ?size payload = Transport.send t.transport ~src:t.node ~dst ?size payload
 
+(* Arbitration is on the application's critical path: ring the transport
+   doorbell after each fan-out burst (the INV broadcast to arbiters, the
+   ACK/VAL replies of one handler activation) so the burst leaves coalesced
+   at the current instant instead of waiting out the flush window. *)
+let doorbell t = Transport.flush t.transport t.node
+
 let dedup nodes =
   List.fold_left (fun acc n -> if List.mem n acc then acc else acc @ [ n ]) [] nodes
 
@@ -293,6 +299,7 @@ let rec arm_replay_check t key o_ts =
            | Some p when Ots.equal p.Directory.o_ts o_ts ->
              Hashtbl.remove t.replays key;
              start_replay t key p;
+             doorbell t;
              arm_replay_check t key o_ts
            | Some p ->
              tracef "n%d replay-check key=%d ts mismatch (pend=%s, armed=%s)" t.node key
@@ -447,7 +454,8 @@ let request t ~key ~kind ~k =
            requester = t.node;
            requester_has_data = Table.mem t.table key;
            epoch = epoch t;
-         })
+         });
+    doorbell t
 
 (* ---------- driver (a directory node serving REQ) ------------------------ *)
 
@@ -755,7 +763,7 @@ let handle_recovery_done t ~sender ~msg_epoch =
     if Hashtbl.length t.gate_waiting = 0 then t.gate_epoch <- -1
   end
 
-let handle t ~src payload =
+let handle_payload t ~src payload =
   let e = epoch t in
   match payload with
   | O_req { req_id; key; kind; requester; requester_has_data; epoch } ->
@@ -804,6 +812,11 @@ let handle t ~src payload =
     true
   | _ -> false
 
+let handle t ~src payload =
+  let handled = handle_payload t ~src payload in
+  if handled then doorbell t;
+  handled
+
 (* ---------- registration, recovery, membership --------------------------- *)
 
 let seed_directory t key replicas =
@@ -831,7 +844,8 @@ let announce_recovery_done t ~epoch:ep =
       if dn = t.node then handle_recovery_done t ~sender:t.node ~msg_epoch:ep
       else if live t dn then
         send t ~dst:dn ~size:32 (O_recovery_done { node = t.node; epoch = ep }))
-    (View.live_list (view t))
+    (View.live_list (view t));
+  doorbell t
 
 let on_view_change t (v : View.t) =
   let lost = ref false in

@@ -22,4 +22,5 @@ let () =
       ("tpcc", Test_tpcc.suite);
       ("experiments", Test_experiments.suite);
       ("properties", Test_properties.suite);
+      ("transport-props", Test_transport_props.suite);
     ]

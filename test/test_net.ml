@@ -194,6 +194,112 @@ let transport_crash_clears_timers () =
   Engine.run ~max_events:10_000 e;
   check Alcotest.int "no stuck retransmit timers" 0 (Engine.pending e)
 
+(* ---------- batching ---------- *)
+
+let transport_coalesces_same_instant () =
+  (* Three same-instant sends to one peer must leave as ONE fabric frame;
+     the receiver's single cumulative ack makes it two messages total
+     (the legacy transport used six: 3 Data + 3 Ack). *)
+  let e, t = transport_setup () in
+  let log = tcollect t 1 in
+  for i = 1 to 3 do
+    Transport.send t ~src:0 ~dst:1 (Ping i)
+  done;
+  Engine.run e;
+  check Alcotest.(list (pair int int)) "in order" [ (0, 1); (0, 2); (0, 3) ] (List.rev !log);
+  let st = Transport.stats t in
+  check Alcotest.int "one data frame" 1 st.Transport.frames;
+  check Alcotest.int "three payloads" 3 st.Transport.payloads;
+  check Alcotest.int "one batch + one ack on the fabric" 2
+    (Fabric.messages_sent (Transport.fabric t))
+
+let transport_unbatched_message_counts () =
+  (* Legacy mode: pre-PR wire behaviour — one Data + one Ack per message. *)
+  let e, t =
+    transport_setup ~config:(Transport.unbatched Transport.default_config) ()
+  in
+  let _ = tcollect t 1 in
+  for i = 1 to 5 do
+    Transport.send t ~src:0 ~dst:1 (Ping i)
+  done;
+  Engine.run e;
+  check Alcotest.int "5 Data + 5 Ack" 10 (Fabric.messages_sent (Transport.fabric t))
+
+let transport_batched_in_order_under_reorder () =
+  let e, t =
+    transport_setup
+      ~fabric_config:
+        { Fabric.default_config with Fabric.reorder_prob = 0.6; loss_prob = 0.2 }
+      ()
+  in
+  let log = tcollect t 1 in
+  for i = 1 to 30 do
+    ignore
+      (Engine.schedule e
+         ~after:(3.0 *. float_of_int i)
+         (fun () -> Transport.send t ~src:0 ~dst:1 (Ping i)))
+  done;
+  Engine.run e;
+  check Alcotest.(list int) "in-order exactly-once"
+    (List.init 30 (fun i -> i + 1))
+    (List.rev_map snd !log)
+
+let transport_doorbell_flushes_early () =
+  (* With a large flush window, the doorbell must release the batch at the
+     current instant instead of waiting out the window. *)
+  let config = { Transport.default_config with Transport.flush_window_us = 500.0 } in
+  let e, t = transport_setup ~config () in
+  let log = tcollect t 1 in
+  Transport.send t ~src:0 ~dst:1 (Ping 1);
+  Transport.send t ~src:0 ~dst:1 (Ping 2);
+  Transport.flush t 0;
+  Engine.run e;
+  check Alcotest.int "delivered" 2 (List.length !log);
+  (* fabric latency only: base 4µs + jitter, nowhere near the 500µs window *)
+  check Alcotest.bool "no window delay" true (Engine.now e < 100.0)
+
+let transport_crash_symmetric_cleanup () =
+  (* Peers' send-side state toward a crashed node is dropped at crash time
+     (not leaked until RTO), and the crashed node's receive windows die
+     with it. *)
+  let e, t =
+    transport_setup
+      ~fabric_config:{ Fabric.default_config with Fabric.loss_prob = 0.5 }
+      ()
+  in
+  let _ = tcollect t 1 in
+  for i = 1 to 10 do
+    Transport.send t ~src:0 ~dst:1 (Ping i)
+  done;
+  ignore (Engine.schedule e ~after:10.0 (fun () -> Transport.crash t 1));
+  Engine.run ~max_events:100_000 e;
+  check Alcotest.int "no timers left" 0 (Engine.pending e);
+  check Alcotest.int "sender state dropped" 0 (Transport.tx_backlog t);
+  check Alcotest.int "receiver state dropped" 0 (Transport.rx_backlog t)
+
+let rejoin_seq0_not_swallowed config () =
+  (* Regression: a crashed-and-rejoined sender restarts at sequence 0; the
+     receiver's dedup state must not swallow the fresh stream as
+     duplicates of the old incarnation. *)
+  let e, t = transport_setup ~config () in
+  let log = tcollect t 1 in
+  for i = 1 to 5 do
+    Transport.send t ~src:0 ~dst:1 (Ping i)
+  done;
+  Engine.run e;
+  check Alcotest.int "first incarnation delivered" 5 (List.length !log);
+  Transport.crash t 0;
+  Engine.run e;
+  Transport.recover t 0;
+  for i = 6 to 10 do
+    Transport.send t ~src:0 ~dst:1 (Ping i)
+  done;
+  Engine.run e;
+  let sorted = List.sort compare (List.map snd !log) in
+  check Alcotest.(list int) "rejoined incarnation delivered too"
+    (List.init 10 (fun i -> i + 1))
+    sorted
+
 let suite =
   [
     tc "fabric: delivers with latency" fabric_delivers;
@@ -211,4 +317,17 @@ let suite =
     tc "transport: dedup can be disabled" transport_no_dedup_mode;
     tc "transport: gives up on dead peer" transport_gives_up_on_dead_peer;
     tc "transport: crash clears retransmit state" transport_crash_clears_timers;
+    tc "transport: same-instant sends coalesce into one frame"
+      transport_coalesces_same_instant;
+    tc "transport: unbatched mode keeps legacy message counts"
+      transport_unbatched_message_counts;
+    tc "transport: batched delivery is in order under reorder+loss"
+      transport_batched_in_order_under_reorder;
+    tc "transport: doorbell flushes before the window expires"
+      transport_doorbell_flushes_early;
+    tc "transport: crash cleanup is symmetric" transport_crash_symmetric_cleanup;
+    tc "transport: rejoined seq 0 not swallowed (batched)"
+      (rejoin_seq0_not_swallowed Transport.default_config);
+    tc "transport: rejoined seq 0 not swallowed (unbatched)"
+      (rejoin_seq0_not_swallowed (Transport.unbatched Transport.default_config));
   ]

@@ -1,0 +1,135 @@
+(* qcheck properties for the reliable transport under fault injection:
+   random loss/duplication/reorder rates and a random send schedule over a
+   3-node fabric.  Both transport modes must deliver every payload exactly
+   once per flow with bounded state; the batched mode must additionally
+   deliver in order. *)
+
+module Engine = Zeus_sim.Engine
+module Fabric = Zeus_net.Fabric
+module Transport = Zeus_net.Transport
+
+type Zeus_net.Msg.payload += Msg of int
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* (loss, dup, reorder), [(src, dst, at_us); ...] — loss stays well under
+   the give-up threshold (max_retries = 50 go-back-N rounds), so delivery
+   always completes and exactly-once is the right property. *)
+let case_gen =
+  QCheck.Gen.(
+    pair
+      (triple
+         (float_bound_inclusive 0.35)
+         (float_bound_inclusive 0.5)
+         (float_bound_inclusive 0.5))
+      (list_size (1 -- 80)
+         (triple (int_bound 2) (int_bound 2) (float_bound_inclusive 300.0))))
+
+let print_case ((loss, dup, reorder), sends) =
+  Printf.sprintf "loss=%.2f dup=%.2f reorder=%.2f sends=[%s]" loss dup reorder
+    (String.concat "; "
+       (List.map (fun (s, d, at) -> Printf.sprintf "%d->%d@%.0f" s d at) sends))
+
+let case = QCheck.make ~print:print_case case_gen
+
+let log tbl key v =
+  let r =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace tbl key r;
+      r
+  in
+  r := v :: !r
+
+(* Returns per-flow send and delivery sequences (in order) plus the engine
+   and transport for state assertions. *)
+let run_case ~batched ((loss, dup, reorder), sends) =
+  let e = Engine.create () in
+  let fcfg =
+    {
+      Fabric.default_config with
+      Fabric.loss_prob = loss;
+      dup_prob = dup;
+      reorder_prob = reorder;
+    }
+  in
+  let f = Fabric.create e ~nodes:3 fcfg in
+  let config =
+    if batched then Transport.default_config
+    else Transport.unbatched Transport.default_config
+  in
+  let t = Transport.create ~config f in
+  let sent = Hashtbl.create 16 and delivered = Hashtbl.create 16 in
+  for node = 0 to 2 do
+    Transport.set_handler t node (fun ~src payload ->
+        match payload with Msg i -> log delivered (src, node) i | _ -> ())
+  done;
+  List.iteri
+    (fun i (src, dst, at) ->
+      ignore
+        (Engine.schedule e ~after:at (fun () ->
+             log sent (src, dst) i;
+             Transport.send t ~src ~dst (Msg i))))
+    sends;
+  Engine.run ~max_events:5_000_000 e;
+  (e, t, sent, delivered)
+
+let flows sent delivered =
+  let keys = Hashtbl.create 16 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) sent;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) delivered;
+  Hashtbl.fold (fun k () acc -> k :: acc) keys []
+
+let got tbl key = match Hashtbl.find_opt tbl key with Some r -> List.rev !r | None -> []
+
+let exactly_once ~batched c =
+  let _, _, sent, delivered = run_case ~batched c in
+  List.for_all
+    (fun key ->
+      let s = List.sort compare (got sent key)
+      and d = List.sort compare (got delivered key) in
+      if s <> d then
+        QCheck.Test.fail_reportf "flow %d->%d: sent %d payloads, delivered %d (%s)"
+          (fst key) (snd key) (List.length s) (List.length d)
+          (if List.length d > List.length s then "duplicates" else "losses")
+      else true)
+    (flows sent delivered)
+
+let in_order_batched c =
+  let _, _, sent, delivered = run_case ~batched:true c in
+  List.for_all
+    (fun key ->
+      let s = got sent key and d = got delivered key in
+      s = d
+      || QCheck.Test.fail_reportf "flow %d->%d delivered out of order" (fst key)
+           (snd key))
+    (flows sent delivered)
+
+let bounded_state ~batched c =
+  let e, t, _, _ = run_case ~batched c in
+  Engine.pending e = 0
+  && Transport.tx_backlog t = 0
+  && Transport.rx_backlog t = 0
+  || QCheck.Test.fail_reportf "residual state: pending=%d tx_backlog=%d rx_backlog=%d"
+       (Engine.pending e) (Transport.tx_backlog t) (Transport.rx_backlog t)
+
+let suite =
+  [
+    qtest
+      (QCheck.Test.make ~name:"transport: exactly-once per flow (batched)" ~count:30
+         case (exactly_once ~batched:true));
+    qtest
+      (QCheck.Test.make ~name:"transport: exactly-once per flow (unbatched)" ~count:30
+         case (exactly_once ~batched:false));
+    qtest
+      (QCheck.Test.make ~name:"transport: in-order delivery per flow (batched)"
+         ~count:30 case in_order_batched);
+    qtest
+      (QCheck.Test.make ~name:"transport: quiescent and bounded state (batched)"
+         ~count:30 case (bounded_state ~batched:true));
+    qtest
+      (QCheck.Test.make ~name:"transport: quiescent and bounded state (unbatched)"
+         ~count:30 case (bounded_state ~batched:false));
+  ]
