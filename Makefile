@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-quick bench-smoke clean
+.PHONY: all build test check bench bench-quick bench-smoke trace-smoke clean
 
 all: build
 
@@ -30,6 +30,16 @@ bench-smoke: build
 	done
 	@echo "bench-smoke: BENCH_transport.json OK"
 
+# Quick traced Smallbank run.  The trace subcommand itself validates the
+# exported file (parses as Chrome trace JSON, every committed transaction
+# carries ownership/execute/replicate spans with nested sim-time bounds)
+# and exits non-zero on any violation.
+trace-smoke: build
+	rm -f trace.json
+	dune exec bin/zeus_cli.exe -- trace --workload smallbank --quick --out trace.json
+	@test -s trace.json || { echo "trace-smoke: trace.json missing or empty" >&2; exit 1; }
+	@echo "trace-smoke: trace.json OK"
+
 clean:
 	dune clean
-	rm -f BENCH_locality.json BENCH_transport.json
+	rm -f BENCH_locality.json BENCH_transport.json trace.json

@@ -213,6 +213,9 @@ let emit_transport_json path =
     Printf.printf "wrote %s\n%!" path
 
 let () =
+  (* Experiment tables go through Tlog at Info; the library default (Warn)
+     would silence them for this user-facing entry point. *)
+  Zeus_telemetry.Tlog.set_level Zeus_telemetry.Tlog.Info;
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let micro = List.mem "--micro" args in

@@ -4,9 +4,12 @@
      zeus_cli run fig8 [--quick]   # regenerate one table/figure
      zeus_cli run all [--quick]    # the whole evaluation
      zeus_cli bench smallbank --nodes 3 --remote 0.02
-                                   # one-off Zeus throughput measurement *)
+                                   # one-off Zeus throughput measurement
+     zeus_cli trace --workload smallbank --quick --out trace.json
+                                   # per-transaction phase trace capture *)
 
 open Cmdliner
+module Tel = Zeus_telemetry
 
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Small populations and short runs.")
@@ -109,8 +112,160 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"One-off Zeus throughput measurement.")
     Term.(const run $ workload $ nodes $ remote $ duration)
 
+(* ---- trace ---- *)
+
+(* Structural acceptance check on the recorded spans: every committed
+   transaction must carry ownership -> execute -> replicate phase children
+   with monotone, nested sim-time bounds. *)
+let check_spans tr =
+  let all = Tel.Trace.spans tr in
+  (* One pass to index children by parent id: [Trace.children] re-sorts the
+     whole list per call, far too slow for tens of thousands of roots. *)
+  let by_parent = Hashtbl.create 4096 in
+  List.iter
+    (fun (sp : Tel.Trace.span) ->
+      let p = sp.Tel.Trace.parent in
+      if p >= 0 then
+        Hashtbl.replace by_parent p
+          (sp :: Option.value ~default:[] (Hashtbl.find_opt by_parent p)))
+    all;
+  let committed =
+    List.filter
+      (fun (sp : Tel.Trace.span) ->
+        sp.Tel.Trace.parent < 0
+        && sp.Tel.Trace.name = "txn"
+        && List.assoc_opt "result" sp.Tel.Trace.args = Some "committed")
+      all
+  in
+  if committed = [] then Error "no committed transactions were traced"
+  else begin
+    let bad = ref None in
+    List.iter
+      (fun (root : Tel.Trace.span) ->
+        if !bad = None then begin
+          let kids =
+            Option.value ~default:[]
+              (Hashtbl.find_opt by_parent root.Tel.Trace.id)
+          in
+          let find n =
+            List.find_opt (fun (k : Tel.Trace.span) -> k.Tel.Trace.name = n) kids
+          in
+          match (find "ownership", find "execute", find "replicate") with
+          | Some o, Some e, Some r ->
+            let open Tel.Trace in
+            let ordered =
+              root.start <= o.start && o.start <= o.stop && o.stop <= e.start
+              && e.start <= e.stop && e.stop <= r.start && r.start <= r.stop
+              && r.stop <= root.stop
+            in
+            if not ordered then
+              bad :=
+                Some
+                  (Printf.sprintf "txn span %d: phase bounds not monotone/nested"
+                     root.id)
+          | _ ->
+            bad :=
+              Some
+                (Printf.sprintf "txn span %d: missing phase spans" root.Tel.Trace.id)
+        end)
+      committed;
+    match !bad with None -> Ok (List.length committed) | Some e -> Error e
+  end
+
+(* The written file must be loadable Chrome trace JSON. *)
+let check_json file =
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Tel.Jsonv.parse s with
+  | Error e -> Error (Printf.sprintf "%s: invalid JSON: %s" file e)
+  | Ok v -> (
+    match Option.bind (Tel.Jsonv.member "traceEvents" v) Tel.Jsonv.to_list with
+    | None -> Error (Printf.sprintf "%s: no traceEvents array" file)
+    | Some events -> Ok (List.length events))
+
+let trace_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (enum [ ("smallbank", `Smallbank); ("tatp", `Tatp) ]) `Smallbank
+      & info [ "workload" ] ~docv:"WORKLOAD" ~doc:"smallbank or tatp.")
+  in
+  let nodes = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Cluster size.") in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out" ] ~docv:"PATH" ~doc:"Chrome trace_event output file.")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"PATH" ~doc:"Also write one JSON object per span.")
+  in
+  let run quick workload nodes out jsonl =
+    let config = { Zeus_core.Config.default with Zeus_core.Config.nodes } in
+    let cluster = Zeus_core.Cluster.create ~config ~tracing:true () in
+    let rng = Zeus_sim.Engine.fork_rng (Zeus_core.Cluster.engine cluster) in
+    let per_node = if quick then 2_000 else 10_000 in
+    let warmup_us = if quick then 500.0 else 2_000.0 in
+    let duration_us = if quick then 3_000.0 else 15_000.0 in
+    let issue, name =
+      match workload with
+      | `Smallbank ->
+        let w =
+          Zeus_workload.Smallbank.create ~accounts_per_node:per_node ~nodes
+            ~remote_frac:0.0 rng
+        in
+        Zeus_core.Cluster.populate_n cluster ~n:(Zeus_workload.Smallbank.total_keys w)
+          ~owner_of:(fun k -> Zeus_workload.Smallbank.home_of_key w k)
+          (fun _ -> Bytes.copy Zeus_workload.Smallbank.initial_value);
+        ( (fun node -> Zeus_workload.Smallbank.gen w ~home:(Zeus_core.Node.id node)),
+          "smallbank" )
+      | `Tatp ->
+        let w =
+          Zeus_workload.Tatp.create ~subscribers_per_node:per_node ~nodes
+            ~remote_frac:0.0 rng
+        in
+        Zeus_core.Cluster.populate_n cluster ~n:(Zeus_workload.Tatp.total_keys w)
+          ~owner_of:(fun k -> Zeus_workload.Tatp.home_of_key w k)
+          (fun _ -> Bytes.copy Zeus_workload.Tatp.initial_value);
+        ((fun node -> Zeus_workload.Tatp.gen w ~home:(Zeus_core.Node.id node)), "tatp")
+    in
+    let r =
+      Zeus_workload.Driver.run cluster ~warmup_us ~duration_us
+        ~issue:(fun node ~thread ~seq:_ done_ ->
+          Zeus_workload.Spec.run_on_zeus node ~thread (issue node) (fun o ->
+              done_ (o = Zeus_store.Txn.Committed)))
+        ()
+    in
+    let tr = Zeus_core.Cluster.trace cluster in
+    Tel.Trace.write_chrome tr out;
+    Option.iter (Tel.Trace.write_jsonl tr) jsonl;
+    match (check_spans tr, check_json out) with
+    | Ok txns, Ok events ->
+      Tel.Tlog.infof "%s on %d nodes: %d committed, %d spans (%d dropped)" name
+        nodes r.Zeus_workload.Driver.committed (Tel.Trace.count tr)
+        (Tel.Trace.dropped tr);
+      Tel.Tlog.infof
+        "%s: %d trace events, all committed txns have \
+         ownership/execute/replicate phases (%d checked)"
+        out events txns;
+      Option.iter (Tel.Tlog.infof "%s: span-per-line JSONL written") jsonl;
+      Zeus_experiments.Exp.print_phase_breakdown "per-phase txn latency" cluster;
+      `Ok ()
+    | Error e, _ | _, Error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a traced workload and export per-transaction phase spans as \
+          Chrome trace_event JSON (chrome://tracing, Perfetto).")
+    Term.(ret (const run $ quick $ workload $ nodes $ out $ jsonl))
+
 let () =
+  Tel.Tlog.set_level Tel.Tlog.Info;
   let doc = "Zeus: locality-aware distributed transactions (EuroSys '21 reproduction)" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "zeus_cli" ~doc) [ list_cmd; run_cmd; bench_cmd ]))
+       (Cmd.group (Cmd.info "zeus_cli" ~doc) [ list_cmd; run_cmd; bench_cmd; trace_cmd ]))

@@ -1,6 +1,7 @@
 module Sim = Zeus_sim.Engine
 module Resource = Zeus_sim.Resource
 module Rng = Zeus_sim.Rng
+module Metrics = Zeus_telemetry.Metrics
 module Fabric = Zeus_net.Fabric
 module Transport = Zeus_net.Transport
 module Config = Zeus_core.Config
@@ -54,14 +55,17 @@ type t = {
   primary_of : int -> int;
   nodes : node array;
   rng : Rng.t;
-  mutable committed : int;
-  mutable aborted : int;
+  metrics : Metrics.t;
+  c_committed : Metrics.Counter.h;
+  c_aborted : Metrics.Counter.h;
+  c_retries : Metrics.Counter.h;
 }
 
 let engine t = t.engine
 let profile t = t.profile
-let committed t = t.committed
-let aborted t = t.aborted
+let metrics t = t.metrics
+let committed t = Metrics.Counter.get t.c_committed
+let aborted t = Metrics.Counter.get t.c_aborted
 
 let entry_of t node key =
   match Hashtbl.find_opt t.nodes.(node).locks key with
@@ -166,7 +170,7 @@ let run_phase _t st ~locals ~remotes ~done_ =
 let finish t st ~ok =
   let coord = t.nodes.(st.tref.coord) in
   Hashtbl.remove coord.txns st.tref.seq;
-  if ok then t.committed <- t.committed + 1 else t.aborted <- t.aborted + 1;
+  Metrics.Counter.incr (if ok then t.c_committed else t.c_aborted);
   st.k ok
 
 let backoff t attempt =
@@ -208,8 +212,9 @@ and retry t st =
       else send t ~src:home ~dst:node ~size:48 (B_abort { txn = st.tref; keys }))
     st.locked;
   Hashtbl.remove t.nodes.(home).txns st.tref.seq;
+  Metrics.Counter.incr t.c_retries;
   if st.attempt >= t.config.Config.max_retries then begin
-    t.aborted <- t.aborted + 1;
+    Metrics.Counter.incr t.c_aborted;
     st.k false
   end
   else
@@ -436,6 +441,7 @@ let create ?(profile = Profile.fasst) ?(config = Config.default) ~primary_of () 
           txns = Hashtbl.create 256;
         })
   in
+  let metrics = Metrics.create () in
   let t =
     {
       engine;
@@ -445,8 +451,10 @@ let create ?(profile = Profile.fasst) ?(config = Config.default) ~primary_of () 
       primary_of;
       nodes;
       rng = Sim.fork_rng engine;
-      committed = 0;
-      aborted = 0;
+      metrics;
+      c_committed = Metrics.Counter.v metrics "baseline.committed";
+      c_aborted = Metrics.Counter.v metrics "baseline.aborted";
+      c_retries = Metrics.Counter.v metrics "baseline.retries";
     }
   in
   Array.iter

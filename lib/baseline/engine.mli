@@ -51,3 +51,7 @@ val run_load :
 
 val committed : t -> int
 val aborted : t -> int
+
+val metrics : t -> Zeus_telemetry.Metrics.t
+(** Typed registry ([baseline.committed], [baseline.aborted],
+    [baseline.retries]). *)

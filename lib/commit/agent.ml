@@ -1,4 +1,7 @@
 module Engine = Zeus_sim.Engine
+module Metrics = Zeus_telemetry.Metrics
+module Tspan = Zeus_telemetry.Trace
+module Hub = Zeus_telemetry.Hub
 module Transport = Zeus_net.Transport
 module Service = Zeus_membership.Service
 module View = Zeus_membership.View
@@ -20,6 +23,7 @@ type slot_state = {
       (* partial-stream followers of the next slot to include in this
          slot's R-VAL broadcast (§5.2) *)
   s_on_durable : (unit -> unit) option;
+  s_span : Tspan.span;  (* replication round-trip: R-INV out to all ACKs in *)
 }
 
 type pipeline = { mutable next_slot : int; slots : (int, slot_state) Hashtbl.t }
@@ -56,15 +60,18 @@ type t = {
   replaying : (tx_id, slot_state) Hashtbl.t;
   mutable prev_live : bool array;
   mutable recovering_epoch : int option;
-  mutable n_started : int;
-  mutable n_durable : int;
-  mutable n_replays : int;
+  metrics : Metrics.t;
+  tspans : Tspan.t;
+  c_started : Metrics.Counter.h;
+  c_durable : Metrics.Counter.h;
+  c_replays : Metrics.Counter.h;
 }
 
 let node t = t.node
-let commits_started t = t.n_started
-let commits_durable t = t.n_durable
-let replays_started t = t.n_replays
+let commits_started t = Metrics.Counter.get t.c_started
+let commits_durable t = Metrics.Counter.get t.c_durable
+let replays_started t = Metrics.Counter.get t.c_replays
+let metrics t = t.metrics
 
 let epoch t = Service.epoch_at t.membership t.node
 let view t = Service.node_view t.membership t.node
@@ -116,19 +123,20 @@ let validate_local t (s : slot_state) =
         end
       | None -> ())
     s.s_writes;
-  t.n_durable <- t.n_durable + 1;
+  Metrics.Counter.incr t.c_durable;
   match s.s_on_durable with Some k -> k () | None -> ()
 
 let finish_slot t pipe (s : slot_state) =
   Hashtbl.remove pipe.slots s.s_tx.slot;
+  Tspan.finish t.tspans s.s_span;
   validate_local t s;
   let recipients =
     List.filter (fun n -> live t n) (s.s_followers @ s.s_extra_vals)
   in
   List.iter (fun f -> send t ~dst:f ~size:32 (R_val { tx = s.s_tx })) recipients
 
-let commit t ~thread ~updates ?on_durable () =
-  t.n_started <- t.n_started + 1;
+let commit ?(parent = Tspan.null_span) t ~thread ~updates ?on_durable () =
+  Metrics.Counter.incr t.c_started;
   let pipe = get_pipe t thread in
   let slot = pipe.next_slot in
   pipe.next_slot <- slot + 1;
@@ -158,6 +166,7 @@ let commit t ~thread ~updates ?on_durable () =
         s_missing = [];
         s_extra_vals = [];
         s_on_durable = on_durable;
+        s_span = Tspan.null_span;
       }
     in
     validate_local t s
@@ -171,6 +180,16 @@ let commit t ~thread ~updates ?on_durable () =
         s_missing = followers;
         s_extra_vals = [];
         s_on_durable = on_durable;
+        s_span =
+          Tspan.start_span t.tspans ~cat:"commit" ~pid:t.node ~tid:thread
+            ~parent
+            ~args:
+              [
+                ("slot", string_of_int slot);
+                ("followers", string_of_int (List.length followers));
+                ("writes", string_of_int (List.length updates));
+              ]
+            "replication_ack";
       }
     in
     Hashtbl.replace pipe.slots slot s;
@@ -316,7 +335,7 @@ let finish_replay t (s : slot_state) =
 
 let start_replay t (si : stored_inv) =
   if not (Hashtbl.mem t.replaying si.i_tx) then begin
-    t.n_replays <- t.n_replays + 1;
+    Metrics.Counter.incr t.c_replays;
     let others = List.filter (fun f -> f <> t.node && live t f) si.i_followers in
     let s =
       {
@@ -326,6 +345,7 @@ let start_replay t (si : stored_inv) =
         s_missing = others;
         s_extra_vals = [];
         s_on_durable = None;
+        s_span = Tspan.null_span;
       }
     in
     if others = [] then finish_replay t s
@@ -444,9 +464,11 @@ let handle t ~src payload =
     true
   | _ -> false
 
-let create ~node ~table ~membership ~callbacks transport =
+let create ?telemetry ~node ~table ~membership ~callbacks transport =
   let engine = Zeus_net.Fabric.engine (Transport.fabric transport) in
   let nodes = Zeus_net.Fabric.nodes (Transport.fabric transport) in
+  let hub = match telemetry with Some h -> h | None -> Hub.none () in
+  let metrics = Metrics.create () in
   let t =
     {
       node;
@@ -460,9 +482,11 @@ let create ~node ~table ~membership ~callbacks transport =
       replaying = Hashtbl.create 16;
       prev_live = Array.make nodes true;
       recovering_epoch = None;
-      n_started = 0;
-      n_durable = 0;
-      n_replays = 0;
+      metrics;
+      tspans = Hub.trace hub;
+      c_started = Metrics.Counter.v metrics "commit.commits_started";
+      c_durable = Metrics.Counter.v metrics "commit.commits_durable";
+      c_replays = Metrics.Counter.v metrics "commit.replays_started";
     }
   in
   Service.subscribe membership node (fun v -> on_view_change t v);

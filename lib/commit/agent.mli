@@ -36,6 +36,7 @@ type callbacks = {
 type t
 
 val create :
+  ?telemetry:Zeus_telemetry.Hub.t ->
   node:Types.node_id ->
   table:Table.t ->
   membership:Zeus_membership.Service.t ->
@@ -45,13 +46,22 @@ val create :
 
 val node : t -> Types.node_id
 
-val commit : t -> thread:int -> updates:Txn.update list -> ?on_durable:(unit -> unit) -> unit -> unit
+val commit :
+  ?parent:Zeus_telemetry.Trace.span ->
+  t ->
+  thread:int ->
+  updates:Txn.update list ->
+  ?on_durable:(unit -> unit) ->
+  unit ->
+  unit
 (** Start the reliable commit of a locally committed transaction.  The
     updates must all be to objects this node owns ([t_state = Write],
     versions already bumped by {!Zeus_store.Txn.local_commit}).
     [on_durable] fires when the transaction is reliably committed (all
     followers acked) — callers use it for replication-lag metrics and
-    post-replication actions, never to block the application. *)
+    post-replication actions, never to block the application.  With
+    tracing enabled, each replicated slot records a ["replication_ack"]
+    span (R-INV broadcast to last follower ACK) under [parent]. *)
 
 val handle : t -> src:Types.node_id -> Zeus_net.Msg.payload -> bool
 
@@ -67,3 +77,6 @@ val stored_invs : t -> int
 val commits_started : t -> int
 val commits_durable : t -> int
 val replays_started : t -> int
+
+val metrics : t -> Zeus_telemetry.Metrics.t
+(** The agent's typed registry (counters under ["commit."]). *)

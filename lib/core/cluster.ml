@@ -13,13 +13,17 @@ type t = {
   transport : Transport.t;
   membership : Service.t;
   history : History.t option;
+  telemetry : Zeus_telemetry.Hub.t;
   nodes : Node.t array;
 }
 
-let create ?(config = Config.default) () =
+let create ?(config = Config.default) ?(tracing = false) () =
   let engine = Engine.create ~seed:config.Config.seed () in
   let fabric = Fabric.create engine ~nodes:config.Config.nodes config.Config.fabric in
-  let transport = Transport.create ~config:config.Config.transport fabric in
+  let telemetry =
+    Zeus_telemetry.Hub.create ~tracing ~now:(fun () -> Engine.now engine) ()
+  in
+  let transport = Transport.create ~config:config.Config.transport ~telemetry fabric in
   let membership =
     Service.create ~lease_us:config.Config.lease_us ~detect_us:config.Config.detect_us
       transport
@@ -27,9 +31,9 @@ let create ?(config = Config.default) () =
   let history = if config.Config.record_history then Some (History.create ()) else None in
   let nodes =
     Array.init config.Config.nodes (fun id ->
-        Node.create ~config ~id ~transport ~membership ~history)
+        Node.create ~telemetry ~config ~id ~transport ~membership ~history ())
   in
-  { config; engine; fabric; transport; membership; history; nodes }
+  { config; engine; fabric; transport; membership; history; telemetry; nodes }
 
 let config t = t.config
 let engine t = t.engine
@@ -37,6 +41,8 @@ let fabric t = t.fabric
 let transport t = t.transport
 let membership t = t.membership
 let history t = t.history
+let telemetry t = t.telemetry
+let trace t = Zeus_telemetry.Hub.trace t.telemetry
 let nodes t = Array.length t.nodes
 let node t i = t.nodes.(i)
 

@@ -10,7 +10,9 @@ open Zeus_store
 
 type t
 
-val create : ?config:Config.t -> unit -> t
+val create : ?config:Config.t -> ?tracing:bool -> unit -> t
+(** [tracing] arms per-transaction span recording from the start; it can
+    also be toggled later via [Hub.set_tracing (telemetry t)]. *)
 
 val config : t -> Config.t
 val engine : t -> Zeus_sim.Engine.t
@@ -18,6 +20,12 @@ val fabric : t -> Zeus_net.Fabric.t
 val transport : t -> Zeus_net.Transport.t
 val membership : t -> Zeus_membership.Service.t
 val history : t -> History.t option
+
+val telemetry : t -> Zeus_telemetry.Hub.t
+(** The cluster-wide hub: shared phase histograms ([txn.*]) and the trace
+    sink every agent reports into. *)
+
+val trace : t -> Zeus_telemetry.Trace.t
 val nodes : t -> int
 val node : t -> int -> Node.t
 

@@ -2,6 +2,9 @@ module Engine = Zeus_sim.Engine
 module Resource = Zeus_sim.Resource
 module Rng = Zeus_sim.Rng
 module Stats = Zeus_sim.Stats
+module Metrics = Zeus_telemetry.Metrics
+module Tspan = Zeus_telemetry.Trace
+module Hub = Zeus_telemetry.Hub
 module Transport = Zeus_net.Transport
 module Fabric = Zeus_net.Fabric
 module Service = Zeus_membership.Service
@@ -26,6 +29,15 @@ type t = {
   outstanding_rc : int array;  (* per app thread: in-flight reliable commits *)
   waiters : (unit -> unit) Queue.t array;
   mutable app_handler : (src:Types.node_id -> Zeus_net.Msg.payload -> unit) option;
+  (* Phase telemetry: histograms live on the cluster hub's registry
+     (Histogram.v is idempotent by name, so all nodes feed the same five);
+     spans go to the hub's trace sink. *)
+  tspans : Tspan.t;
+  h_own : Metrics.Histogram.h;
+  h_exec : Metrics.Histogram.h;
+  h_lc : Metrics.Histogram.h;
+  h_repl : Metrics.Histogram.h;
+  h_e2e : Metrics.Histogram.h;
   mutable n_committed : int;
   mutable n_aborted : int;
   mutable n_ro_committed : int;
@@ -140,8 +152,10 @@ let apply_requester t ~key ~kind ~o_ts ~replicas ~data =
 
 (* ------ construction ------------------------------------------------------ *)
 
-let create ~config ~id ~transport ~membership ~history =
+let create ?telemetry ~config ~id ~transport ~membership ~history () =
   let engine = Fabric.engine (Transport.fabric transport) in
+  let hub = match telemetry with Some h -> h | None -> Hub.none () in
+  let hm = Hub.metrics hub in
   let t =
     {
       id;
@@ -159,6 +173,12 @@ let create ~config ~id ~transport ~membership ~history =
       outstanding_rc = Array.make config.Config.app_threads 0;
       waiters = Array.init config.Config.app_threads (fun _ -> Queue.create ());
       app_handler = None;
+      tspans = Hub.trace hub;
+      h_own = Metrics.Histogram.v hm "txn.ownership_us";
+      h_exec = Metrics.Histogram.v hm "txn.execute_us";
+      h_lc = Metrics.Histogram.v hm "txn.local_commit_us";
+      h_repl = Metrics.Histogram.v hm "txn.replication_us";
+      h_e2e = Metrics.Histogram.v hm "txn.e2e_us";
       n_committed = 0;
       n_aborted = 0;
       n_ro_committed = 0;
@@ -179,7 +199,7 @@ let create ~config ~id ~transport ~membership ~history =
     }
   in
   let ownership =
-    Own.Agent.create ~config:config.Config.ownership ~node:id
+    Own.Agent.create ?telemetry ~config:config.Config.ownership ~node:id
       ~dir_nodes_of:(fun key -> Config.dir_nodes_for config ~key)
       ~table:t.table ~membership ~callbacks:own_cb
       transport
@@ -187,7 +207,7 @@ let create ~config ~id ~transport ~membership ~history =
   t.ownership <- Some ownership;
   if config.Config.locality.Loc.Engine.enabled then begin
     let loc =
-      Loc.Engine.create ~config:config.Config.locality ~node:id
+      Loc.Engine.create ?telemetry ~config:config.Config.locality ~node:id
         ~nodes:config.Config.nodes ~engine ~transport ~agent:ownership
         ~is_owner:(fun key ->
           match Table.find t.table key with
@@ -212,7 +232,8 @@ let create ~config ~id ~transport ~membership ~history =
     }
   in
   let commit =
-    Com.Agent.create ~node:id ~table:t.table ~membership ~callbacks:com_cb transport
+    Com.Agent.create ?telemetry ~node:id ~table:t.table ~membership ~callbacks:com_cb
+      transport
   in
   t.commit <- Some commit;
   Transport.set_handler transport id (fun ~src payload ->
@@ -288,10 +309,18 @@ let role t key =
 type ctx = {
   node : t;
   txn : Txn.t;
+  span : Tspan.span;  (* root "txn" span, shared by all attempts *)
   mutable reads : (Types.key * int) list;
   mutable used_ownership : bool;
   mutable state : [ `Running | `Failed of Txn.abort_reason | `Done ];
   on_fail : Txn.abort_reason -> unit;
+  (* Per-attempt phase bounds (sim µs): the acquisition window and the
+     body dispatch time, consumed by the commit path to cut the attempt
+     into ownership / execute / local-commit / replicate phases. *)
+  mutable body_start : float;
+  mutable own_first : float;  (* nan: no ownership request this attempt *)
+  mutable own_last : float;
+  mutable own_count : int;
 }
 
 let guard ctx fn = match ctx.state with `Running -> fn () | `Failed _ | `Done -> ()
@@ -325,11 +354,16 @@ let ensure_owner ctx key k =
         fail ctx (Txn.Ownership_refused key)
       | Some _ | None ->
         ctx.used_ownership <- true;
+        let acq_start = Engine.now t.engine in
+        if Float.is_nan ctx.own_first then ctx.own_first <- acq_start;
         ignore
           (Engine.schedule t.engine ~after:t.config.Config.ownership_dispatch_us
              (fun () ->
-               Own.Agent.request (ownership_agent t) ~key ~kind:Own.Messages.Acquire
+               Own.Agent.request ~parent:ctx.span (ownership_agent t) ~key
+                 ~kind:Own.Messages.Acquire
                  ~k:(fun result ->
+                   ctx.own_last <- Engine.now t.engine;
+                   ctx.own_count <- ctx.own_count + 1;
                    guard ctx (fun () ->
                        match result with
                        | Ok () ->
@@ -401,7 +435,8 @@ let prepare_created t (updates : Txn.update list) =
       | Some _ | None -> ())
     updates
 
-let start_reliable_commit t ~thread ~(updates : Txn.update list) =
+let start_reliable_commit t ~thread ~parent ~lc_done ~txn_start
+    ~(updates : Txn.update list) =
   let bytes = List.fold_left (fun a (u : Txn.update) -> a + Value.size u.data) 0 updates in
   let followers = t.config.Config.replication_degree - 1 in
   let send_cost =
@@ -414,8 +449,18 @@ let start_reliable_commit t ~thread ~(updates : Txn.update list) =
   (* Broadcasting the R-INVs consumes datastore-worker CPU at the
      coordinator; the app thread does NOT wait (§5.2). *)
   Resource.submit t.ds ~service:send_cost (fun () ->
-      Com.Agent.commit (commit_agent t) ~thread ~updates
+      Com.Agent.commit ~parent (commit_agent t) ~thread ~updates
         ~on_durable:(fun () ->
+          let durable = Engine.now t.engine in
+          Metrics.Histogram.observe t.h_repl (durable -. lc_done);
+          Metrics.Histogram.observe t.h_e2e (durable -. txn_start);
+          if not (Tspan.is_null parent) then
+            Tspan.complete t.tspans ~cat:"txn" ~pid:t.id ~tid:thread ~parent
+              ~args:[ ("writes", string_of_int (List.length updates)) ]
+              ~start:lc_done ~stop:durable "replicate";
+          Tspan.finish_at t.tspans ~stop:durable
+            ~args:[ ("result", "committed") ]
+            parent;
           (match t.history with
           | Some h ->
             History.record_durable h ~writes:write_versions ~time:(Engine.now t.engine)
@@ -431,8 +476,41 @@ let backoff t attempt =
   d *. (0.5 +. Rng.float t.rng 1.0)
 
 let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
+  let txn_start = Engine.now t.engine in
+  let root =
+    Tspan.start_span t.tspans ~cat:"txn" ~pid:t.id ~tid:thread
+      ~args:[ ("kind", if read_only then "read" else "write") ]
+      "txn"
+  in
+  (* Retrospective phase spans for the committing attempt, plus the
+     always-on phase histograms.  Ownership = [first acquisition issued,
+     last grant]; zero-length at body dispatch for all-local attempts.
+     Execute = grant (or dispatch) to commit entry; the three phases are
+     sequential and nested inside the root txn span. *)
+  let finish_phases ctx ~ce ~lc_done =
+    let own_start, own_end =
+      if Float.is_nan ctx.own_first then (ctx.body_start, ctx.body_start)
+      else (ctx.own_first, ctx.own_last)
+    in
+    Metrics.Histogram.observe t.h_own (own_end -. own_start);
+    Metrics.Histogram.observe t.h_exec (ce -. own_end);
+    Metrics.Histogram.observe t.h_lc (lc_done -. ce);
+    if not (Tspan.is_null root) then begin
+      let ph name start stop args =
+        Tspan.complete t.tspans ~cat:"txn" ~pid:t.id ~tid:thread ~parent:root
+          ~args ~start ~stop name
+      in
+      ph "ownership" own_start own_end
+        [ ("acquisitions", string_of_int ctx.own_count) ];
+      ph "execute" own_end ce [];
+      ph "local_commit" ce lc_done []
+    end
+  in
   let rec attempt n =
-    if not (is_alive t) then k (Txn.Aborted Txn.Node_dead)
+    if not (is_alive t) then begin
+      Tspan.finish t.tspans ~args:[ ("result", "node_dead") ] root;
+      k (Txn.Aborted Txn.Node_dead)
+    end
     else begin
       let txn =
         if read_only then Txn.create_read t.table ~thread
@@ -443,6 +521,9 @@ let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
         if n >= t.config.Config.max_retries then begin
           if read_only then t.n_ro_aborted <- t.n_ro_aborted + 1
           else t.n_aborted <- t.n_aborted + 1;
+          Tspan.finish t.tspans
+            ~args:[ ("result", "aborted"); ("attempts", string_of_int (n + 1)) ]
+            root;
           k (Txn.Aborted reason)
         end
         else
@@ -450,10 +531,23 @@ let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
             (Engine.schedule t.engine ~after:(backoff t n) (fun () -> attempt (n + 1)))
       in
       let ctx =
-        { node = t; txn; reads = []; used_ownership = false; state = `Running; on_fail }
+        {
+          node = t;
+          txn;
+          span = root;
+          reads = [];
+          used_ownership = false;
+          state = `Running;
+          on_fail;
+          body_start = nan;
+          own_first = nan;
+          own_last = nan;
+          own_count = 0;
+        }
       in
       let commit_now () =
         guard ctx (fun () ->
+            let ce = Engine.now t.engine in
             ignore
               (Engine.schedule t.engine ~after:t.config.Config.local_commit_us
                  (fun () ->
@@ -461,6 +555,7 @@ let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
                    | Error reason -> fail ctx reason
                    | Ok [] ->
                      ctx.state <- `Done;
+                     let lc_done = Engine.now t.engine in
                      if read_only then begin
                        t.n_ro_committed <- t.n_ro_committed + 1;
                        (match t.history with
@@ -474,6 +569,17 @@ let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
                        if ctx.used_ownership then
                          t.n_txn_with_ownership <- t.n_txn_with_ownership + 1
                      end;
+                     finish_phases ctx ~ce ~lc_done;
+                     Metrics.Histogram.observe t.h_e2e (lc_done -. txn_start);
+                     (* Nothing written: durable at local commit. *)
+                     if not (Tspan.is_null root) then
+                       Tspan.complete t.tspans ~cat:"txn" ~pid:t.id ~tid:thread
+                         ~parent:root
+                         ~args:[ ("writes", "0") ]
+                         ~start:lc_done ~stop:lc_done "replicate";
+                     Tspan.finish_at t.tspans ~stop:lc_done
+                       ~args:[ ("result", "committed") ]
+                       root;
                      k Txn.Committed
                    | Ok updates ->
                      ctx.state <- `Done;
@@ -481,6 +587,8 @@ let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
                      if ctx.used_ownership then
                        t.n_txn_with_ownership <- t.n_txn_with_ownership + 1;
                      prepare_created t updates;
+                     let lc_done = Engine.now t.engine in
+                     finish_phases ctx ~ce ~lc_done;
                      (match t.history with
                      | Some h ->
                        History.record_commit h ~node:t.id ~reads:ctx.reads
@@ -490,7 +598,10 @@ let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
                               updates)
                          ~time:(Engine.now t.engine)
                      | None -> ());
-                     let proceed () = start_reliable_commit t ~thread ~updates in
+                     let proceed () =
+                       start_reliable_commit t ~thread ~parent:root ~lc_done
+                         ~txn_start ~updates
+                     in
                      if t.outstanding_rc.(thread) >= t.config.Config.pipeline_depth
                      then begin
                        (* Pipeline full: flow-control the thread. *)
@@ -509,7 +620,9 @@ let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
       ignore
         (Engine.schedule t.engine
            ~after:(exec_us +. t.config.Config.txn_dispatch_us)
-           (fun () -> body ctx commit_now))
+           (fun () ->
+             ctx.body_start <- Engine.now t.engine;
+             body ctx commit_now))
     end
   in
   attempt 0

@@ -33,11 +33,13 @@ open Zeus_store
 type t
 
 val create :
+  ?telemetry:Zeus_telemetry.Hub.t ->
   config:Config.t ->
   id:Types.node_id ->
   transport:Zeus_net.Transport.t ->
   membership:Zeus_membership.Service.t ->
   history:History.t option ->
+  unit ->
   t
 
 val id : t -> Types.node_id

@@ -1,3 +1,7 @@
+module Tlog = Zeus_telemetry.Tlog
+module Metrics = Zeus_telemetry.Metrics
+module Hub = Zeus_telemetry.Hub
+
 type series = { label : string; points : (float * float) list }
 
 type figure = {
@@ -12,24 +16,74 @@ type figure = {
 
 let hrule width = String.make width '-'
 
+(* Tables render into a buffer and go out in one [Tlog.info_string] block:
+   the severity gate is the entry point's, not each printf's. *)
 let print_figure f =
-  Printf.printf "\n== %s: %s ==\n" f.id f.title;
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "\n== %s: %s ==\n" f.id f.title;
   List.iter
     (fun s ->
-      Printf.printf "  %s  [%s -> %s]\n" s.label f.x_axis f.y_axis;
-      List.iter (fun (x, y) -> Printf.printf "    %10.3f  %10.3f\n" x y) s.points)
+      pf "  %s  [%s -> %s]\n" s.label f.x_axis f.y_axis;
+      List.iter (fun (x, y) -> pf "    %10.3f  %10.3f\n" x y) s.points)
     f.series;
   if f.paper <> [] then begin
-    Printf.printf "  paper reports:\n";
-    List.iter (fun p -> Printf.printf "    - %s\n" p) f.paper
+    pf "  paper reports:\n";
+    List.iter (fun p -> pf "    - %s\n" p) f.paper
   end;
-  List.iter (fun n -> Printf.printf "  note: %s\n" n) f.notes;
-  Printf.printf "  %s\n%!" (hrule 60)
+  List.iter (fun n -> pf "  note: %s\n" n) f.notes;
+  pf "  %s\n" (hrule 60);
+  Tlog.info_string (Buffer.contents buf);
+  Tlog.flush_info ()
 
 let print_kv title kvs =
-  Printf.printf "\n== %s ==\n" title;
-  List.iter (fun (k, v) -> Printf.printf "  %-42s %s\n" k v) kvs;
-  Printf.printf "%!"
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "\n== %s ==\n" title;
+  List.iter (fun (k, v) -> pf "  %-42s %s\n" k v) kvs;
+  Tlog.info_string (Buffer.contents buf);
+  Tlog.flush_info ()
+
+(* The txn.* phase histograms accumulate on the cluster hub regardless of
+   tracing; any experiment that ran transactions can print the breakdown. *)
+let print_phase_breakdown title cluster =
+  let hub = Zeus_core.Cluster.telemetry cluster in
+  (* Present in pipeline order (registration order is arbitrary). *)
+  let rank n =
+    match n with
+    | "txn.ownership_us" -> 0
+    | "txn.execute_us" -> 1
+    | "txn.local_commit_us" -> 2
+    | "txn.replication_us" -> 3
+    | "txn.e2e_us" -> 4
+    | _ -> 5
+  in
+  let phases =
+    List.filter
+      (fun (n, h) ->
+        String.length n > 4 && String.sub n 0 4 = "txn."
+        && Metrics.Histogram.count h > 0)
+      (Metrics.histograms (Hub.metrics hub))
+    |> List.sort (fun (a, _) (b, _) -> compare (rank a, a) (rank b, b))
+  in
+  if phases <> [] then begin
+    let buf = Buffer.create 512 in
+    let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    pf "\n== %s ==\n" title;
+    pf "  %-16s %9s %10s %10s %10s %10s\n" "phase" "count" "mean us" "p50 us"
+      "p99 us" "max us";
+    List.iter
+      (fun (n, h) ->
+        let phase = String.sub n 4 (String.length n - 4) in
+        pf "  %-16s %9d %10.2f %10.2f %10.2f %10.2f\n" phase
+          (Metrics.Histogram.count h) (Metrics.Histogram.mean h)
+          (Metrics.Histogram.percentile h 50.0)
+          (Metrics.Histogram.percentile h 99.0)
+          (Metrics.Histogram.max h))
+      phases;
+    Tlog.info_string (Buffer.contents buf);
+    Tlog.flush_info ()
+  end
 
 let scale_note ~quick =
   if quick then "quick mode: tiny population, short runs (smoke only)"

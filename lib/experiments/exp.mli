@@ -15,9 +15,14 @@ type figure = {
 }
 
 val print_figure : figure -> unit
-(** Render as an aligned text table on stdout. *)
+(** Render as an aligned text table at [Tlog] level [Info]. *)
 
 val print_kv : string -> (string * string) list -> unit
+
+val print_phase_breakdown : string -> Zeus_core.Cluster.t -> unit
+(** Per-phase transaction-latency table (ownership / execute /
+    local-commit / replication / end-to-end) from the cluster hub's
+    [txn.*] histograms; silent if no transaction committed. *)
 
 val scale_note : quick:bool -> string
 

@@ -29,5 +29,5 @@ let run_all ~quick =
   List.iter
     (fun (_, _, f) ->
       f ~quick;
-      Printf.printf "%!")
+      Zeus_telemetry.Tlog.flush_info ())
     all

@@ -24,6 +24,9 @@ let issue_fn w stash node ~thread done_ =
   W.Spec.run_on_zeus node ~thread spec (fun outcome ->
       done_ (outcome = Zeus_store.Txn.Committed))
 
+(* The most recent point's cluster — its hub feeds the per-phase table. *)
+let last_cluster = ref None
+
 let one_point ~quick ~nodes ~handover_frac ~remote_handover_frac =
   let s = Exp.scale_of ~quick in
   let config = { Config.default with Config.nodes } in
@@ -48,6 +51,7 @@ let one_point ~quick ~nodes ~handover_frac ~remote_handover_frac =
       ~issue:(fun node ~thread ~seq:_ done_ -> issue_fn w stash node ~thread done_)
       ()
   in
+  last_cluster := Some cluster;
   r.W.Driver.mtps
 
 let run ~quick =
@@ -100,4 +104,7 @@ let run ~quick =
           "throughput scales linearly with node count";
         ];
       notes = [ Exp.scale_note ~quick ];
-    }
+    };
+  Option.iter
+    (Exp.print_phase_breakdown "fig7: per-phase txn latency (last Zeus point)")
+    !last_cluster

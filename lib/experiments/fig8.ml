@@ -9,6 +9,9 @@ module Node = Zeus_core.Node
 module W = Zeus_workload
 module B = Zeus_baseline
 
+(* The most recent Zeus point's cluster — feeds the per-phase table. *)
+let last_cluster = ref None
+
 let zeus_point ~quick ~nodes ~remote_frac =
   let s = Exp.scale_of ~quick in
   let config = { Config.default with Config.nodes } in
@@ -34,6 +37,7 @@ let zeus_point ~quick ~nodes ~remote_frac =
   done;
   (* x-axis: % of write transactions (85 % of the mix) needing ownership *)
   let writes = 0.85 *. float_of_int r.W.Driver.committed in
+  last_cluster := Some cluster;
   (100.0 *. float_of_int !owntxn /. Float.max 1.0 writes, r.W.Driver.mtps, r)
 
 let baseline_point ~quick ~nodes profile =
@@ -111,4 +115,7 @@ let run ~quick =
           "3- and 6-node trends identical";
         ];
       notes = Exp.scale_note ~quick :: List.rev !latency_notes;
-    }
+    };
+  Option.iter
+    (Exp.print_phase_breakdown "fig8: per-phase txn latency (last Zeus point)")
+    !last_cluster

@@ -23,6 +23,7 @@
 module Engine = Zeus_sim.Engine
 module Rng = Zeus_sim.Rng
 module Stats = Zeus_sim.Stats
+module Tlog = Zeus_telemetry.Tlog
 module Cluster = Zeus_core.Cluster
 module Config = Zeus_core.Config
 module Node = Zeus_core.Node
@@ -90,6 +91,9 @@ let loc_stats c =
   in
   (!hits, !misses, !hints, pins)
 
+(* The predictive-trajectory cluster — its hub feeds the per-phase table. *)
+let phase_cluster = ref None
+
 let incr_body ctx key commit =
   Node.read_write ctx key (fun v -> Value.of_int (Value.to_int v + 1)) (fun _ -> commit ())
 
@@ -110,6 +114,7 @@ let run_trajectory ~quick ~predictive =
      a pre-existing protocol corner unrelated to placement policy. *)
   let config = { Config.default with Config.nodes; seed = 11L; auto_trim = false; locality } in
   let c = Cluster.create ~config () in
+  if predictive then phase_cluster := Some c;
   let eng = Cluster.engine c in
   let users = nodes * users_per_node in
   (* one session object per user, starting at the user's first cell *)
@@ -150,18 +155,18 @@ let run_trajectory ~quick ~predictive =
   ignore (Engine.schedule_at eng ~time:start (fun () -> own0 := sum_own c));
   Cluster.run c ~until_us:stop;
   let remote = sum_own c - !own0 in
-  if Sys.getenv_opt "ZEUS_PREDICTIVE_DEBUG" <> None then begin
+  if Tlog.enabled Tlog.Debug then begin
     for i = 0 to nodes - 1 do
       let n = Cluster.node c i in
-      Printf.eprintf
-        "[traj] node %d: committed=%d aborted=%d retries=%d own_txns=%d\n%!" i
+      Tlog.debugf ~src:"predictive"
+        "[traj] node %d: committed=%d aborted=%d retries=%d own_txns=%d" i
         (Node.committed n) (Node.aborted n) (Node.retries n)
         (Node.txns_with_ownership n);
       match Node.locality n with
       | Some e ->
         List.iter
-          (fun (k, v) -> Printf.eprintf "    %s=%d\n%!" k v)
-          (Stats.Counter.to_list (Loc.Engine.counters e))
+          (fun (k, v) -> Tlog.debugf ~src:"predictive" "    %s=%d" k v)
+          (Loc.Engine.counters e)
       | None -> ()
     done
   end;
@@ -266,17 +271,18 @@ let run_skew ~quick ~predictive =
   ignore (Engine.schedule_at eng ~time:start (fun () -> own0 := sum_own c));
   Cluster.run c ~until_us:stop;
   let remote = sum_own c - !own0 in
-  if Sys.getenv_opt "ZEUS_PREDICTIVE_DEBUG" <> None then begin
+  if Tlog.enabled Tlog.Debug then begin
     for i = 0 to nodes - 1 do
       let n = Cluster.node c i in
-      Printf.eprintf "[skew] node %d: committed=%d aborted=%d retries=%d own_txns=%d\n%!"
-        i (Node.committed n) (Node.aborted n) (Node.retries n)
+      Tlog.debugf ~src:"predictive"
+        "[skew] node %d: committed=%d aborted=%d retries=%d own_txns=%d" i
+        (Node.committed n) (Node.aborted n) (Node.retries n)
         (Node.txns_with_ownership n);
       match Node.locality n with
       | Some e ->
         List.iter
-          (fun (k, v) -> Printf.eprintf "    %s=%d\n%!" k v)
-          (Stats.Counter.to_list (Loc.Engine.counters e))
+          (fun (k, v) -> Tlog.debugf ~src:"predictive" "    %s=%d" k v)
+          (Loc.Engine.counters e)
       | None -> ()
     done
   end;
@@ -339,11 +345,10 @@ let run_uniform ~quick ~predictive =
 (* ---------- driver ---------- *)
 
 let compute ~quick =
-  let dbg = Sys.getenv_opt "ZEUS_PREDICTIVE_DEBUG" <> None in
   let stage name f =
-    if dbg then Printf.eprintf "[predictive] %s...\n%!" name;
+    Tlog.debugf ~src:"predictive" "%s..." name;
     let r = f () in
-    if dbg then Printf.eprintf "[predictive] %s done\n%!" name;
+    Tlog.debugf ~src:"predictive" "%s done" name;
     r
   in
   {
@@ -399,4 +404,8 @@ let run ~quick =
     r.skew;
   print_pair "predictive: uniform partitioned load (no-regression check)"
     (fun p -> [ ("hints sent (should be ~0)", string_of_int p.hints) ])
-    r.uniform
+    r.uniform;
+  Option.iter
+    (Exp.print_phase_breakdown
+       "predictive: per-phase txn latency (trajectory, predictive)")
+    !phase_cluster

@@ -1,5 +1,7 @@
 (** Table 2: summary of the evaluated benchmarks. *)
 
+module Tlog = Zeus_telemetry.Tlog
+
 let run ~quick:_ =
   let rows =
     [
@@ -9,11 +11,15 @@ let run ~quick:_ =
       Zeus_workload.Voter.table_summary;
     ]
   in
-  Printf.printf "\n== table2: Summary of evaluated benchmarks ==\n";
-  Printf.printf "  %-10s %7s %8s %4s %9s\n" "benchmark" "tables" "columns" "txs" "read txs";
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "\n== table2: Summary of evaluated benchmarks ==\n";
+  pf "  %-10s %7s %8s %4s %9s\n" "benchmark" "tables" "columns" "txs" "read txs";
   List.iter
     (fun (name, tables, columns, txs, read_pct) ->
-      Printf.printf "  %-10s %7d %8d %4d %8d%%\n" name tables columns txs read_pct)
+      pf "  %-10s %7d %8d %4d %8d%%\n" name tables columns txs read_pct)
     rows;
-  Printf.printf
-    "  paper: Handovers 5/36/4/0%%, Smallbank 3/6/6/15%%, TATP 4/51/7/80%%, Voter 3/9/1/0%%\n%!"
+  pf
+    "  paper: Handovers 5/36/4/0%%, Smallbank 3/6/6/15%%, TATP 4/51/7/80%%, Voter 3/9/1/0%%\n";
+  Tlog.info_string (Buffer.contents buf);
+  Tlog.flush_info ()

@@ -52,10 +52,15 @@ let msgs_per_txn a = per_txn a.messages a
 let bytes_per_txn a = per_txn a.bytes a
 let events_per_txn a = per_txn a.events a
 
+(* The batched-Smallbank arm's cluster (the acceptance workload) — its hub
+   feeds the per-phase breakdown table. *)
+let phase_cluster = ref None
+
 (* Run one arm: build the cluster, install the workload, and measure the
    fabric/engine deltas over the driver's measurement window. *)
 let measure ~config ~warmup_us ~duration_us ~setup =
   let cluster = Cluster.create ~config () in
+  phase_cluster := Some cluster;
   let eng = Cluster.engine cluster in
   let fab = Cluster.fabric cluster in
   let issue = setup cluster in
@@ -150,14 +155,16 @@ let one ~quick ~batched ~setup =
     ~setup:(setup s)
 
 let compute ~quick =
+  let sb_unbatched = one ~quick ~batched:false ~setup:smallbank_setup in
+  let sb_batched = one ~quick ~batched:true ~setup:smallbank_setup in
+  let sb_cluster = !phase_cluster in
+  let ho_unbatched = one ~quick ~batched:false ~setup:handover_setup in
+  let ho_batched = one ~quick ~batched:true ~setup:handover_setup in
+  phase_cluster := sb_cluster;
   {
     quick;
-    smallbank =
-      ( one ~quick ~batched:false ~setup:smallbank_setup,
-        one ~quick ~batched:true ~setup:smallbank_setup );
-    handover =
-      ( one ~quick ~batched:false ~setup:handover_setup,
-        one ~quick ~batched:true ~setup:handover_setup );
+    smallbank = (sb_unbatched, sb_batched);
+    handover = (ho_unbatched, ho_batched);
   }
 
 let last = ref None
@@ -201,4 +208,8 @@ let run ~quick =
   let r = compute ~quick in
   last := Some r;
   print_pair "transport: Smallbank, 3 nodes, default fabric" r.smallbank;
-  print_pair "transport: handovers (2.5%, 3 nodes)" r.handover
+  print_pair "transport: handovers (2.5%, 3 nodes)" r.handover;
+  Option.iter
+    (Exp.print_phase_breakdown
+       "transport: per-phase txn latency (Smallbank, batched)")
+    !phase_cluster

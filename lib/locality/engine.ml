@@ -1,5 +1,7 @@
 module Sim = Zeus_sim.Engine
-module Stats = Zeus_sim.Stats
+module Metrics = Zeus_telemetry.Metrics
+module Tspan = Zeus_telemetry.Trace
+module Hub = Zeus_telemetry.Hub
 module Transport = Zeus_net.Transport
 module Own = Zeus_ownership
 open Zeus_store
@@ -40,7 +42,18 @@ type t = {
   predictor : Predictor.t;
   planner : Planner.t;
   migrator : Migrator.t;
-  counters : Stats.Counter.t;
+  (* Typed metric handles over a per-engine registry. *)
+  metrics : Metrics.t;
+  tspans : Tspan.t;
+  c_prefetch_hits : Metrics.Counter.h;
+  c_prefetch_misses : Metrics.Counter.h;
+  c_hints_sent : Metrics.Counter.h;
+  c_replicate_hints : Metrics.Counter.h;
+  c_hints_received : Metrics.Counter.h;
+  c_replicate_hints_received : Metrics.Counter.h;
+  c_migrations_observed : Metrics.Counter.h;
+  c_plans : Metrics.Counter.h;
+  c_pins_applied : Metrics.Counter.h;
   last_access : (Types.key, float) Hashtbl.t;   (* local accesses on owned keys *)
   idle_armed : (Types.key, unit) Hashtbl.t;     (* an idle check is scheduled *)
   hinted : (Types.key, unit) Hashtbl.t;         (* hinted this ownership tenure *)
@@ -49,7 +62,9 @@ type t = {
   mutable on_pin : (key:Types.key -> target:Types.node_id -> unit) option;
 }
 
-let create ~config ~node ~nodes ~engine ~transport ~agent ~is_owner () =
+let create ?telemetry ~config ~node ~nodes ~engine ~transport ~agent ~is_owner () =
+  let hub = match telemetry with Some h -> h | None -> Hub.none () in
+  let metrics = Metrics.create () in
   {
     config;
     node;
@@ -60,7 +75,18 @@ let create ~config ~node ~nodes ~engine ~transport ~agent ~is_owner () =
     predictor = Predictor.create ~config:config.predictor ~nodes ();
     planner = Planner.create ~config:config.planner ();
     migrator = Migrator.create ~config:config.migrator ~agent ~engine ();
-    counters = Stats.Counter.create ();
+    metrics;
+    tspans = Hub.trace hub;
+    c_prefetch_hits = Metrics.Counter.v metrics "locality.prefetch_hits";
+    c_prefetch_misses = Metrics.Counter.v metrics "locality.prefetch_misses";
+    c_hints_sent = Metrics.Counter.v metrics "locality.hints_sent";
+    c_replicate_hints = Metrics.Counter.v metrics "locality.replicate_hints";
+    c_hints_received = Metrics.Counter.v metrics "locality.hints_received";
+    c_replicate_hints_received =
+      Metrics.Counter.v metrics "locality.replicate_hints_received";
+    c_migrations_observed = Metrics.Counter.v metrics "locality.migrations_observed";
+    c_plans = Metrics.Counter.v metrics "locality.plans";
+    c_pins_applied = Metrics.Counter.v metrics "locality.pins_applied";
     last_access = Hashtbl.create 256;
     idle_armed = Hashtbl.create 64;
     hinted = Hashtbl.create 64;
@@ -73,20 +99,21 @@ let access_log t = t.log
 let predictor t = t.predictor
 let planner t = t.planner
 let migrator t = t.migrator
-let counters t = t.counters
+let metrics t = t.metrics
+let counters t = Metrics.counters t.metrics
 
-let prefetch_hits t = Stats.Counter.get t.counters "prefetch_hits"
-let prefetch_misses t = Stats.Counter.get t.counters "prefetch_misses"
-let hints_sent t = Stats.Counter.get t.counters "hints_sent"
-let migrations_observed t = Stats.Counter.get t.counters "migrations_observed"
+let prefetch_hits t = Metrics.Counter.get t.c_prefetch_hits
+let prefetch_misses t = Metrics.Counter.get t.c_prefetch_misses
+let hints_sent t = Metrics.Counter.get t.c_hints_sent
+let migrations_observed t = Metrics.Counter.get t.c_migrations_observed
 
 let set_on_pin t f = t.on_pin <- Some f
 
 let route_for_key t key = Planner.pinned t.planner ~key ~now:(Sim.now t.engine)
 
 let send_hint t ~dst ~key ~kind =
-  Stats.Counter.incr t.counters
-    (match kind with Hint_own -> "hints_sent" | Hint_read -> "replicate_hints");
+  Metrics.Counter.incr
+    (match kind with Hint_own -> t.c_hints_sent | Hint_read -> t.c_replicate_hints);
   Transport.send t.transport ~src:t.node ~dst ~size:24
     (L_hint { key; kind; from_ = t.node })
 
@@ -95,7 +122,7 @@ let send_hint t ~dst ~key ~kind =
 let plan_key t key =
   if t.is_owner key && not (Hashtbl.mem t.hinted key) then begin
     let now = Sim.now t.engine in
-    Stats.Counter.incr t.counters "plans";
+    Metrics.Counter.incr t.c_plans;
     match
       Planner.decide t.planner ~predictor:t.predictor ~log:t.log ~key ~holder:t.node ~now
     with
@@ -140,7 +167,7 @@ let note_local_access t ~key ~write =
   Access_log.record t.log ~key ~node:t.node ~now;
   if Hashtbl.mem t.prefetched key then begin
     Hashtbl.remove t.prefetched key;
-    Stats.Counter.incr t.counters "prefetch_hits"
+    Metrics.Counter.incr t.c_prefetch_hits
   end;
   if write then begin
     Hashtbl.replace t.last_access key now;
@@ -156,7 +183,7 @@ let note_request t ~key ~kind ~requester =
 
 let note_owner_change t ~key ~owner =
   let now = Sim.now t.engine in
-  Stats.Counter.incr t.counters "migrations_observed";
+  Metrics.Counter.incr t.c_migrations_observed;
   Predictor.note_owner t.predictor ~key ~owner ~now;
   Planner.note_migration t.planner ~key ~owner ~now;
   if owner <> t.node then begin
@@ -164,7 +191,7 @@ let note_owner_change t ~key ~owner =
     Hashtbl.remove t.last_access key;
     if Hashtbl.mem t.prefetched key then begin
       Hashtbl.remove t.prefetched key;
-      Stats.Counter.incr t.counters "prefetch_misses"
+      Metrics.Counter.incr t.c_prefetch_misses
     end
   end
   else Hashtbl.remove t.hinted key;
@@ -178,7 +205,7 @@ let note_owner_change t ~key ~owner =
     in
     if not deadline_known then begin
       Hashtbl.replace t.reacted_pins key (now +. t.config.planner.Planner.pin_us);
-      Stats.Counter.incr t.counters "pins_applied";
+      Metrics.Counter.incr t.c_pins_applied;
       match t.on_pin with Some f -> f ~key ~target | None -> ()
     end)
   | Some _ | None -> ()
@@ -186,21 +213,35 @@ let note_owner_change t ~key ~owner =
 (* ---------- hint handling ------------------------------------------------- *)
 
 let handle t ~src:_ = function
-  | L_hint { key; kind; from_ = _ } ->
+  | L_hint { key; kind; from_ } ->
     (match kind with
     | Hint_own ->
-      Stats.Counter.incr t.counters "hints_received";
+      Metrics.Counter.incr t.c_hints_received;
       let pinned_elsewhere =
         match route_for_key t key with Some n -> n <> t.node | None -> false
       in
-      if (not pinned_elsewhere) && not (t.is_owner key) then
-        ignore
-          (Migrator.prefetch t.migrator ~key ~k:(fun result ->
-               match result with
-               | Ok () -> Hashtbl.replace t.prefetched key ()
-               | Error _ -> ()))
+      if (not pinned_elsewhere) && not (t.is_owner key) then begin
+        (* Span per prefetch, linked back to the hinting node (whose plan —
+           triggered by its transactions on the key — sent us here). *)
+        let sp =
+          Tspan.start_span t.tspans ~cat:"locality" ~pid:t.node
+            ~args:
+              [ ("key", string_of_int key); ("hinted_by", string_of_int from_) ]
+            "prefetch"
+        in
+        let issued =
+          Migrator.prefetch ~parent:sp t.migrator ~key ~k:(fun result ->
+              (match result with
+              | Ok () ->
+                Hashtbl.replace t.prefetched key ();
+                Tspan.finish t.tspans ~args:[ ("result", "won") ] sp
+              | Error _ -> Tspan.finish t.tspans ~args:[ ("result", "refused") ] sp))
+        in
+        if not issued then
+          Tspan.finish t.tspans ~args:[ ("result", "rate_limited") ] sp
+      end
     | Hint_read ->
-      Stats.Counter.incr t.counters "replicate_hints_received";
+      Metrics.Counter.incr t.c_replicate_hints_received;
       if not (t.is_owner key) then
         ignore (Migrator.add_reader t.migrator ~key ~k:(fun _ -> ())));
     true

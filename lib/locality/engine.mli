@@ -52,6 +52,7 @@ val enabled_default : config
 type t
 
 val create :
+  ?telemetry:Zeus_telemetry.Hub.t ->
   config:config ->
   node:Types.node_id ->
   nodes:int ->
@@ -95,9 +96,14 @@ val predictor : t -> Predictor.t
 val planner : t -> Planner.t
 val migrator : t -> Migrator.t
 
-val counters : t -> Zeus_sim.Stats.Counter.t
-(** ["hints_sent"], ["hints_received"], ["prefetch_hits"],
-    ["prefetch_misses"], ["migrations_observed"], ["replicate_hints"]. *)
+val metrics : t -> Zeus_telemetry.Metrics.t
+(** The engine's typed registry (counters under ["locality."]). *)
+
+val counters : t -> (string * int) list
+(** Snapshot of the registry's counters: ["locality.hints_sent"],
+    ["locality.hints_received"], ["locality.prefetch_hits"],
+    ["locality.prefetch_misses"], ["locality.migrations_observed"],
+    ["locality.replicate_hints"], … *)
 
 val prefetch_hits : t -> int
 val prefetch_misses : t -> int

@@ -52,13 +52,13 @@ let take t =
     false
   end
 
-let request t ~key ~kind ~k =
+let request ?parent t ~key ~kind ~k =
   if Hashtbl.mem t.inflight key then false
   else if not (take t) then false
   else begin
     Hashtbl.replace t.inflight key ();
     t.n_issued <- t.n_issued + 1;
-    Own.Agent.request t.agent ~key ~kind ~k:(fun result ->
+    Own.Agent.request ?parent t.agent ~key ~kind ~k:(fun result ->
         Hashtbl.remove t.inflight key;
         (match result with
         | Ok () -> t.n_won <- t.n_won + 1
@@ -67,8 +67,8 @@ let request t ~key ~kind ~k =
     true
   end
 
-let prefetch t ~key ~k = request t ~key ~kind:Own.Messages.Acquire ~k
-let add_reader t ~key ~k = request t ~key ~kind:Own.Messages.Add_reader ~k
+let prefetch ?parent t ~key ~k = request ?parent t ~key ~kind:Own.Messages.Acquire ~k
+let add_reader ?parent t ~key ~k = request ?parent t ~key ~kind:Own.Messages.Add_reader ~k
 
 let issued t = t.n_issued
 let won t = t.n_won

@@ -27,13 +27,22 @@ val create :
   t
 
 val prefetch :
-  t -> key:Types.key -> k:((unit, Zeus_ownership.Messages.nack_reason) result -> unit) -> bool
+  ?parent:Zeus_telemetry.Trace.span ->
+  t ->
+  key:Types.key ->
+  k:((unit, Zeus_ownership.Messages.nack_reason) result -> unit) ->
+  bool
 (** Acquire ownership of [key] at this node ahead of need.  Returns [false]
     (and does nothing) when rate-limited or when an identical prefetch is
-    already in flight; otherwise [k] fires with the request's outcome. *)
+    already in flight; otherwise [k] fires with the request's outcome.
+    [parent] links the underlying arbitration span to the prefetch span. *)
 
 val add_reader :
-  t -> key:Types.key -> k:((unit, Zeus_ownership.Messages.nack_reason) result -> unit) -> bool
+  ?parent:Zeus_telemetry.Trace.span ->
+  t ->
+  key:Types.key ->
+  k:((unit, Zeus_ownership.Messages.nack_reason) result -> unit) ->
+  bool
 (** Provision a reader replica at this node (read-mostly plans). *)
 
 (** Counters *)

@@ -1,5 +1,7 @@
 module Engine = Zeus_sim.Engine
-module Stats = Zeus_sim.Stats
+module Metrics = Zeus_telemetry.Metrics
+module Trace = Zeus_telemetry.Trace
+module Hub = Zeus_telemetry.Hub
 
 type config = {
   rto_us : float;
@@ -68,7 +70,9 @@ type flow = {
   mutable next_seq : int;
   mutable acked_upto : int;  (* cumulative: all seqs <= this are acked *)
   mutable flushed_upto : int;  (* all seqs <= this have hit the fabric once *)
-  buffer : (int, Msg.payload * int) Hashtbl.t;  (* batched: unacked window *)
+  buffer : (int, Msg.payload * int * float) Hashtbl.t;
+      (* batched: unacked window, with the enqueue timestamp so the trace
+         can report per-flow queue/batch residency *)
   inflight : (int, pending) Hashtbl.t;  (* legacy: per-message records *)
   mutable queued : bool;  (* on the source node's dirty list *)
   mutable rto_ev : Engine.event_id option;
@@ -96,12 +100,15 @@ type t = {
      protocol burst to K peers costs one engine event, not K. *)
   dirty : flow list ref array;
   node_flush_ev : Engine.event_id option array;
-  mutable retransmissions : int;
-  mutable frames_sent : int;
-  mutable payloads_sent : int;
-  mutable acks_piggybacked : int;
-  mutable acks_standalone : int;
-  occupancy : Stats.Summary.t;
+  (* Typed metric handles (registered once in [create]; a typo here is a
+     compile error, and the hot path touches a resolved ref directly). *)
+  c_retransmissions : Metrics.Counter.h;
+  c_frames : Metrics.Counter.h;
+  c_payloads : Metrics.Counter.h;
+  c_acks_piggybacked : Metrics.Counter.h;
+  c_acks_standalone : Metrics.Counter.h;
+  h_occupancy : Metrics.Histogram.h;
+  trace : Trace.t;
 }
 
 type stats = {
@@ -139,18 +146,19 @@ let fresh_flow ~src ~dst =
 
 let fabric t = t.fabric
 let engine t = Fabric.engine t.fabric
-let retransmissions t = t.retransmissions
+let retransmissions t = Metrics.Counter.get t.c_retransmissions
 
 let stats t =
   {
-    frames = t.frames_sent;
-    payloads = t.payloads_sent;
-    retransmitted = t.retransmissions;
-    piggybacked_acks = t.acks_piggybacked;
-    standalone_acks = t.acks_standalone;
-    mean_occupancy = Stats.Summary.mean t.occupancy;
+    frames = Metrics.Counter.get t.c_frames;
+    payloads = Metrics.Counter.get t.c_payloads;
+    retransmitted = Metrics.Counter.get t.c_retransmissions;
+    piggybacked_acks = Metrics.Counter.get t.c_acks_piggybacked;
+    standalone_acks = Metrics.Counter.get t.c_acks_standalone;
+    mean_occupancy = Metrics.Histogram.mean t.h_occupancy;
     max_occupancy =
-      (if Stats.Summary.count t.occupancy = 0 then 0.0 else Stats.Summary.max t.occupancy);
+      (if Metrics.Histogram.count t.h_occupancy = 0 then 0.0
+       else Metrics.Histogram.max t.h_occupancy);
   }
 
 let set_handler t node fn = t.handlers.(node) <- Some fn
@@ -251,25 +259,45 @@ let adopt_rx t fl inc =
 (* Pack seqs [lo..hi] of [fl] into frames of at most [max_batch] payloads.
    Each frame piggybacks the freshest cumulative ack of the reverse flow,
    which discharges any owed standalone ack. *)
-let send_window t fl ~lo ~hi =
+let send_window ?(retx = false) t fl ~lo ~hi =
   let rev = t.flows.(fl.f_dst).(fl.f_src) in
   let rec go lo =
     if lo <= hi then begin
       let n = min t.config.max_batch (hi - lo + 1) in
-      let items = List.init n (fun i -> Hashtbl.find fl.buffer (lo + i)) in
+      let queued = List.init n (fun i -> Hashtbl.find fl.buffer (lo + i)) in
+      let items = List.map (fun (p, s, _) -> (p, s)) queued in
       let size =
         batch_header_bytes + List.fold_left (fun a (_, s) -> a + s) 0 items
       in
       let ack = rev.watermark in
       if rev.ack_owed then begin
         rev.ack_owed <- false;
-        t.acks_piggybacked <- t.acks_piggybacked + 1;
+        Metrics.Counter.incr t.c_acks_piggybacked;
         cancel_dack t rev
       end;
       if ack > rev.rx_acked_upto then rev.rx_acked_upto <- ack;
-      t.frames_sent <- t.frames_sent + 1;
-      t.payloads_sent <- t.payloads_sent + n;
-      Stats.Summary.add t.occupancy (float_of_int n);
+      Metrics.Counter.incr t.c_frames;
+      Metrics.Counter.incr ~by:n t.c_payloads;
+      Metrics.Histogram.observe t.h_occupancy (float_of_int n);
+      if Trace.enabled t.trace then begin
+        (* Batch residency: oldest enqueue on this flow to frame send.
+           pid = sending node, tid = destination (one track per flow). *)
+        let stop = Engine.now (engine t) in
+        let start =
+          List.fold_left (fun a (_, _, enq) -> Float.min a enq) stop queued
+        in
+        Trace.complete t.trace ~cat:"transport" ~pid:fl.f_src ~tid:fl.f_dst
+          ~start ~stop
+          ~args:
+            [
+              ("dst", string_of_int fl.f_dst);
+              ("payloads", string_of_int n);
+              ("bytes", string_of_int size);
+              ("first_seq", string_of_int lo);
+              ("retx", if retx then "true" else "false");
+            ]
+          "batch"
+      end;
       Fabric.send t.fabric ~src:fl.f_src ~dst:fl.f_dst ~size
         (Batch { inc = fl.tx_inc; first_seq = lo; items; ack; ack_inc = rev.rx_inc });
       go (lo + n)
@@ -298,8 +326,8 @@ let rec on_rto t fl =
          not-yet-flushed tail included — it is leaving now anyway). *)
       fl.tx_retries <- fl.tx_retries + 1;
       let lo = fl.acked_upto + 1 and hi = fl.next_seq - 1 in
-      t.retransmissions <- t.retransmissions + (hi - lo + 1);
-      send_window t fl ~lo ~hi;
+      Metrics.Counter.incr ~by:(hi - lo + 1) t.c_retransmissions;
+      send_window ~retx:true t fl ~lo ~hi;
       fl.flushed_upto <- hi;
       fl.rto_progress_at <- now;
       fl.rto_ev <-
@@ -339,7 +367,7 @@ let schedule_node_flush t node ~after =
 let send_batched t fl ~size payload =
   let seq = fl.next_seq in
   fl.next_seq <- seq + 1;
-  Hashtbl.replace fl.buffer seq (payload, size);
+  Hashtbl.replace fl.buffer seq (payload, size, Engine.now (engine t));
   if not fl.queued then begin
     fl.queued <- true;
     t.dirty.(fl.f_src) := fl :: !(t.dirty.(fl.f_src));
@@ -390,7 +418,7 @@ let schedule_dack t fl =
              if fl.ack_owed && Fabric.is_alive t.fabric fl.f_dst then begin
                fl.ack_owed <- false;
                if fl.watermark > fl.rx_acked_upto then fl.rx_acked_upto <- fl.watermark;
-               t.acks_standalone <- t.acks_standalone + 1;
+               Metrics.Counter.incr t.c_acks_standalone;
                Fabric.send t.fabric ~src:fl.f_dst ~dst:fl.f_src ~size:ack_bytes
                  (Ack_cum { upto = fl.watermark; inc = fl.rx_inc })
              end))
@@ -442,7 +470,7 @@ let rec arm_retransmit t fl seq p =
                && Fabric.is_alive t.fabric fl.f_dst
              then begin
                p.p_retries <- p.p_retries + 1;
-               t.retransmissions <- t.retransmissions + 1;
+               Metrics.Counter.incr t.c_retransmissions;
                Fabric.send t.fabric ~src:fl.f_src ~dst:fl.f_dst ~size:p.p_size
                  (Data { seq; inc = fl.tx_inc; inner = p.p_payload; size = p.p_size });
                arm_retransmit t fl seq p
@@ -458,9 +486,9 @@ let send_legacy t fl ~size payload =
   in
   ignore p.p_dst;
   Hashtbl.replace fl.inflight seq p;
-  t.frames_sent <- t.frames_sent + 1;
-  t.payloads_sent <- t.payloads_sent + 1;
-  Stats.Summary.add t.occupancy 1.0;
+  Metrics.Counter.incr t.c_frames;
+  Metrics.Counter.incr t.c_payloads;
+  Metrics.Histogram.observe t.h_occupancy 1.0;
   Fabric.send t.fabric ~src:fl.f_src ~dst:fl.f_dst ~size
     (Data { seq; inc = fl.tx_inc; inner = payload; size });
   arm_retransmit t fl seq p
@@ -468,7 +496,7 @@ let send_legacy t fl ~size payload =
 let handle_data_legacy t fl ~seq ~inc ~inner =
   if inc >= fl.rx_inc then begin
     if inc > fl.rx_inc then adopt_rx t fl inc;
-    t.acks_standalone <- t.acks_standalone + 1;
+    Metrics.Counter.incr t.c_acks_standalone;
     Fabric.send t.fabric ~src:fl.f_dst ~dst:fl.f_src ~size:ack_bytes
       (Ack { seq; inc });
     if t.config.dedup then begin
@@ -510,8 +538,10 @@ let handle t ~dst ~src payload =
   | Ack_cum { upto; inc } -> apply_cum_ack t t.flows.(dst).(src) ~upto ~inc
   | other -> deliver t ~dst ~src other
 
-let create ?(config = default_config) fabric =
+let create ?(config = default_config) ?telemetry fabric =
   let n = Fabric.nodes fabric in
+  let hub = match telemetry with Some h -> h | None -> Hub.none () in
+  let m = Hub.metrics hub in
   let t =
     {
       fabric;
@@ -520,12 +550,13 @@ let create ?(config = default_config) fabric =
       flows = Array.init n (fun src -> Array.init n (fun dst -> fresh_flow ~src ~dst));
       dirty = Array.init n (fun _ -> ref []);
       node_flush_ev = Array.make n None;
-      retransmissions = 0;
-      frames_sent = 0;
-      payloads_sent = 0;
-      acks_piggybacked = 0;
-      acks_standalone = 0;
-      occupancy = Stats.Summary.create ();
+      c_retransmissions = Metrics.Counter.v m "transport.retransmissions";
+      c_frames = Metrics.Counter.v m "transport.frames";
+      c_payloads = Metrics.Counter.v m "transport.payloads";
+      c_acks_piggybacked = Metrics.Counter.v m "transport.acks_piggybacked";
+      c_acks_standalone = Metrics.Counter.v m "transport.acks_standalone";
+      h_occupancy = Metrics.Histogram.v m ~lo:1.0 ~decades:3 ~per_decade:10 "transport.batch_occupancy";
+      trace = Hub.trace hub;
     }
   in
   for node = 0 to n - 1 do

@@ -56,8 +56,12 @@ val unbatched : config -> config
 
 type t
 
-val create : ?config:config -> Fabric.t -> t
-(** Installs itself as every node's fabric handler. *)
+val create : ?config:config -> ?telemetry:Zeus_telemetry.Hub.t -> Fabric.t -> t
+(** Installs itself as every node's fabric handler.  With [telemetry],
+    frame/payload/ack/retransmission counters register in the hub's typed
+    registry (prefix ["transport."]) and — when tracing is enabled — each
+    batched frame emits a per-flow batch-residency span (oldest enqueue to
+    frame send; [pid] = sender, [tid] = destination). *)
 
 val fabric : t -> Fabric.t
 

@@ -1,5 +1,8 @@
 module Engine = Zeus_sim.Engine
 module Stats = Zeus_sim.Stats
+module Metrics = Zeus_telemetry.Metrics
+module Tspan = Zeus_telemetry.Trace
+module Hub = Zeus_telemetry.Hub
 module Transport = Zeus_net.Transport
 module Service = Zeus_membership.Service
 module View = Zeus_membership.View
@@ -49,6 +52,7 @@ type outstanding = {
   mutable data : data_snapshot option;
   mutable unblock : ((unit, nack_reason) result -> unit) option;
   mutable timer : Engine.event_id option;
+  o_span : Tspan.span;  (* one span per arbitration round-trip *)
 }
 
 type replay = {
@@ -84,12 +88,17 @@ type t = {
   gate_waiting : (Types.node_id, unit) Hashtbl.t;
   mutable prev_live : bool array;
   latency : Stats.Samples.t;
-  mutable n_started : int;
-  mutable n_won : int;
-  mutable n_nacked : int;
-  mutable n_timeout : int;
-  mutable n_replays : int;
-  mutable n_driven : int;
+  (* Typed counter handles over a per-agent registry: per-node stats stay
+     separate while a typo'd metric name is a compile error. *)
+  metrics : Metrics.t;
+  tspans : Tspan.t;
+  c_started : Metrics.Counter.h;
+  c_won : Metrics.Counter.h;
+  c_nacked : Metrics.Counter.h;
+  c_timeout : Metrics.Counter.h;
+  c_replays : Metrics.Counter.h;
+  c_driven : Metrics.Counter.h;
+  h_arb_us : Metrics.Histogram.h;
   mutable observer : observer option;
       (* locality engine's tap on arbitration traffic (passive: observing
          never changes protocol behaviour) *)
@@ -112,12 +121,13 @@ let notify_owner_change t ~key ~kind ~owner =
   | Some o, Acquire -> o.on_owner_change ~key ~owner
   | Some _, (Add_reader | Remove_reader _) | None, _ -> ()
 let latency_samples t = t.latency
-let requests_started t = t.n_started
-let requests_won t = t.n_won
-let requests_nacked t = t.n_nacked
-let requests_timed_out t = t.n_timeout
-let replays_started t = t.n_replays
-let requests_driven t = t.n_driven
+let requests_started t = Metrics.Counter.get t.c_started
+let requests_won t = Metrics.Counter.get t.c_won
+let requests_nacked t = Metrics.Counter.get t.c_nacked
+let requests_timed_out t = Metrics.Counter.get t.c_timeout
+let replays_started t = Metrics.Counter.get t.c_replays
+let requests_driven t = Metrics.Counter.get t.c_driven
+let metrics t = t.metrics
 
 let epoch t = Service.epoch_at t.membership t.node
 let view t = Service.node_view t.membership t.node
@@ -244,7 +254,7 @@ let start_replay t key (p : Directory.pending) =
     tracef "n%d replays key=%d ts=%s req=n%d" t.node key
       (Format.asprintf "%a" Ots.pp p.Directory.o_ts)
       p.Directory.requester;
-    t.n_replays <- t.n_replays + 1;
+    Metrics.Counter.incr t.c_replays;
     (* Re-select the data source if the original one died: any live
        replica of the pending placement can attach the value. *)
     let p =
@@ -328,6 +338,18 @@ let restore_request_state t key =
 let finish_outstanding t o result =
   (match o.timer with Some ev -> Engine.cancel t.engine ev | None -> ());
   o.timer <- None;
+  (* Close the arbitration span (idempotent — a timeout may already have
+     stamped it). *)
+  (match result with
+  | Ok () -> Tspan.finish t.tspans ~args:[ ("result", "granted") ] o.o_span
+  | Error reason ->
+    Tspan.finish t.tspans
+      ~args:
+        [
+          ("result", "denied");
+          ("reason", Format.asprintf "%a" pp_nack reason);
+        ]
+      o.o_span);
   (match o.unblock with
   | Some k ->
     o.unblock <- None;
@@ -383,15 +405,17 @@ let check_complete t o =
       else begin
         requester_apply_and_val t ~req_id:o.o_req_id ~key:o.o_key ~kind:o.o_kind ~o_ts
           ~replicas ~arbiters ~data:o.data;
-        t.n_won <- t.n_won + 1;
-        Stats.Samples.add t.latency (Engine.now t.engine -. o.started);
+        Metrics.Counter.incr t.c_won;
+        let dt = Engine.now t.engine -. o.started in
+        Stats.Samples.add t.latency dt;
+        Metrics.Histogram.observe t.h_arb_us dt;
         finish_outstanding t o (Ok ())
       end
     end
 
-let request t ~key ~kind ~k =
+let request ?(parent = Tspan.null_span) t ~key ~kind ~k =
   tracef "n%d requests %s for key %d" t.node (Format.asprintf "%a" Messages.pp_kind kind) key;
-  t.n_started <- t.n_started + 1;
+  Metrics.Counter.incr t.c_started;
   let seq = t.req_seq in
   t.req_seq <- seq + 1;
   let req_id = { origin = t.node; seq } in
@@ -425,6 +449,16 @@ let request t ~key ~kind ~k =
         data = None;
         unblock = Some k;
         timer = None;
+        o_span =
+          Tspan.start_span t.tspans ~cat:"ownership" ~pid:t.node ~parent
+            ~args:
+              [
+                ("key", string_of_int key);
+                ("kind", Format.asprintf "%a" Messages.pp_kind kind);
+                ("driver", if driver = t.node then "local" else "remote");
+                ("driver_node", string_of_int driver);
+              ]
+            "arbitration";
       }
     in
     Hashtbl.replace t.outstanding seq o;
@@ -436,7 +470,8 @@ let request t ~key ~kind ~k =
         (Engine.schedule t.engine ~after:t.config.request_timeout_us (fun () ->
              o.timer <- None;
              if o.unblock <> None then begin
-               t.n_timeout <- t.n_timeout + 1;
+               Metrics.Counter.incr t.c_timeout;
+               Tspan.finish t.tspans ~args:[ ("result", "timeout") ] o.o_span;
                finish_outstanding t o (Error Busy);
                (* Keep the record a while longer: a late win is still
                   applied (the app's retry then finds it owns the object).
@@ -473,7 +508,7 @@ let gate_active t = t.gate_epoch >= 0 && Hashtbl.length t.gate_waiting > 0
 let handle_req t ~req_id ~key ~kind ~requester ~requester_has_data =
   if not (is_dir_for t key) then ()
   else (
-    t.n_driven <- t.n_driven + 1;
+    Metrics.Counter.incr t.c_driven;
     notify_request t ~key ~kind ~requester;
     match Directory.find t.directory key with
     | None -> nack t ~dst:requester ~req_id ~key Unknown_key
@@ -713,7 +748,7 @@ let handle_nack t ~req_id ~key ~o_ts ~reason =
     match Hashtbl.find_opt t.outstanding req_id.seq with
     | Some o ->
       Hashtbl.remove t.outstanding req_id.seq;
-      t.n_nacked <- t.n_nacked + 1;
+      Metrics.Counter.incr t.c_nacked;
       finish_outstanding t o (Error reason)
     | None -> ()
   end
@@ -726,8 +761,10 @@ let handle_resp t ~req_id ~key ~o_ts ~new_replicas ~arbiters ~data =
   (match Hashtbl.find_opt t.outstanding req_id.seq with
   | Some o ->
     Hashtbl.remove t.outstanding req_id.seq;
-    t.n_won <- t.n_won + 1;
-    Stats.Samples.add t.latency (Engine.now t.engine -. o.started);
+    Metrics.Counter.incr t.c_won;
+    let dt = Engine.now t.engine -. o.started in
+    Stats.Samples.add t.latency dt;
+    Metrics.Histogram.observe t.h_arb_us dt;
     requester_apply_and_val t ~req_id ~key ~kind:o.o_kind ~o_ts ~replicas:new_replicas
       ~arbiters ~data;
     finish_outstanding t o (Ok ())
@@ -903,10 +940,12 @@ let reset t =
   Directory.iter t.directory (fun e -> keys := e.Directory.key :: !keys);
   List.iter (Directory.forget t.directory) !keys
 
-let create ?(config = default_config) ~node ~dir_nodes_of ~table ~membership ~callbacks
-    transport =
+let create ?(config = default_config) ?telemetry ~node ~dir_nodes_of ~table ~membership
+    ~callbacks transport =
   let engine = Zeus_net.Fabric.engine (Transport.fabric transport) in
   let nodes = Zeus_net.Fabric.nodes (Transport.fabric transport) in
+  let hub = match telemetry with Some h -> h | None -> Hub.none () in
+  let metrics = Metrics.create () in
   let t =
     {
       config;
@@ -927,12 +966,15 @@ let create ?(config = default_config) ~node ~dir_nodes_of ~table ~membership ~ca
       gate_waiting = Hashtbl.create 8;
       prev_live = Array.make nodes true;
       latency = Stats.Samples.create (Engine.fork_rng engine);
-      n_started = 0;
-      n_won = 0;
-      n_nacked = 0;
-      n_timeout = 0;
-      n_replays = 0;
-      n_driven = 0;
+      metrics;
+      tspans = Hub.trace hub;
+      c_started = Metrics.Counter.v metrics "ownership.requests_started";
+      c_won = Metrics.Counter.v metrics "ownership.requests_won";
+      c_nacked = Metrics.Counter.v metrics "ownership.requests_nacked";
+      c_timeout = Metrics.Counter.v metrics "ownership.requests_timed_out";
+      c_replays = Metrics.Counter.v metrics "ownership.replays_started";
+      c_driven = Metrics.Counter.v metrics "ownership.requests_driven";
+      h_arb_us = Metrics.Histogram.v metrics "ownership.arbitration_us";
       observer = None;
     }
   in

@@ -77,6 +77,7 @@ val trace : (string -> unit) option ref
 
 val create :
   ?config:config ->
+  ?telemetry:Zeus_telemetry.Hub.t ->
   node:Types.node_id ->
   dir_nodes_of:(Types.key -> Types.node_id list) ->
   table:Table.t ->
@@ -85,7 +86,11 @@ val create :
   Zeus_net.Transport.t ->
   t
 (** The agent does not install transport handlers; the node runtime routes
-    payloads to {!handle}.  [create] subscribes to membership changes. *)
+    payloads to {!handle}.  [create] subscribes to membership changes.
+    With [telemetry] and tracing enabled, every arbitration round-trip
+    emits a span (category ["ownership"]) tagged with the key, kind,
+    local-vs-remote driver, and its outcome
+    (granted / denied / timeout). *)
 
 val node : t -> Types.node_id
 
@@ -98,13 +103,16 @@ val directory : t -> Directory.t
     of §4; a hash slice with the distributed directory of §6.2). *)
 
 val request :
+  ?parent:Zeus_telemetry.Trace.span ->
   t ->
   key:Types.key ->
   kind:Messages.kind ->
   k:((unit, Messages.nack_reason) result -> unit) ->
   unit
 (** Start an ownership request; [k] fires exactly once, when the request is
-    applied locally (the 1.5-RTT unblock point), NACKed, or timed out. *)
+    applied locally (the 1.5-RTT unblock point), NACKed, or timed out.
+    [parent] links the arbitration span to the transaction that needs the
+    object. *)
 
 val register_object : t -> Types.key -> Replicas.t -> unit
 (** Creation path: install directory metadata (local directory replica
@@ -142,3 +150,7 @@ val replays_started : t -> int
 val requests_driven : t -> int
 (** REQs this node served as a driver — the per-node directory load that
     the distributed directory of §6.2 spreads. *)
+
+val metrics : t -> Zeus_telemetry.Metrics.t
+(** The agent's typed registry (counters under ["ownership."], plus the
+    ["ownership.arbitration_us"] histogram). *)

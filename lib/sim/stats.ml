@@ -1,8 +1,16 @@
 let percentile_of_sorted a p =
-  let n = Array.length a in
+  (* NaN-safe: with [Float.compare] ordering, NaNs sort before every real
+     number, so skipping the NaN prefix leaves a clean ascending range. *)
+  let len = Array.length a in
+  let first = ref 0 in
+  while !first < len && Float.is_nan a.(!first) do incr first done;
+  let base = !first in
+  let n = len - base in
+  let p = if Float.is_nan p then 50.0 else Float.max 0.0 (Float.min 100.0 p) in
   if n = 0 then nan
-  else if n = 1 then a.(0)
+  else if n = 1 then a.(base)
   else begin
+    let a = Array.sub a base n in
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (floor rank) in
     let hi = int_of_float (ceil rank) in
@@ -74,7 +82,7 @@ module Samples = struct
 
   let sorted t =
     let a = Array.sub t.data 0 t.size in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     a
 
   let percentile t p = percentile_of_sorted (sorted t) p
@@ -108,7 +116,9 @@ module Counter = struct
       Hashtbl.replace t name c;
       c
 
-  let incr ?(by = 1) t name = cell t name := !(cell t name) + by
+  let incr ?(by = 1) t name =
+    let c = cell t name in
+    c := !c + by
   let get t name = match Hashtbl.find_opt t name with Some c -> !c | None -> 0
 
   let to_list t =

@@ -44,6 +44,11 @@ module Counter : sig
   val get : t -> string -> int
   (** Unknown names read as [0]. *)
 
+  val cell : t -> string -> int ref
+  (** Resolve (registering on first use) the counter's storage cell.
+      Typed metric handles ({!Zeus_telemetry.Metrics.Counter}) hold this
+      ref so the hashtable lookup is paid once, at registration. *)
+
   val to_list : t -> (string * int) list
   (** All counters, sorted by name. *)
 end
@@ -66,4 +71,7 @@ module Timeseries : sig
 end
 
 val percentile_of_sorted : float array -> float -> float
-(** [percentile_of_sorted a 99.0] on an ascending array. *)
+(** [percentile_of_sorted a 99.0] on an ascending ([Float.compare]-sorted)
+    array.  NaN-safe: NaN elements (sorted to the front) are skipped, [p]
+    is clamped to [0, 100], and the result is [nan] only when no real
+    samples remain. *)

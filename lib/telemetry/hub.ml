@@ -1,0 +1,12 @@
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let create ?(tracing = false) ?max_spans ~now () =
+  { metrics = Metrics.create (); trace = Trace.create ~enabled:tracing ?max_spans ~now () }
+
+let none () =
+  { metrics = Metrics.create (); trace = Trace.create ~now:(fun () -> 0.0) () }
+
+let metrics t = t.metrics
+let trace t = t.trace
+let set_tracing t on = Trace.set_enabled t.trace on
+let tracing t = Trace.enabled t.trace

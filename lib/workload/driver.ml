@@ -1,4 +1,5 @@
 module Engine = Zeus_sim.Engine
+module Metrics = Zeus_telemetry.Metrics
 module Cluster = Zeus_core.Cluster
 module Node = Zeus_core.Node
 
@@ -29,9 +30,9 @@ let run cluster ?nodes ?threads ~warmup_us ~duration_us ~issue () =
   let start = t0 +. warmup_us in
   let stop = start +. duration_us in
   let committed = ref 0 and aborted = ref 0 in
-  let latencies =
-    Zeus_sim.Stats.Samples.create ~cap:50_000 (Engine.fork_rng engine)
-  in
+  (* One standalone histogram per run: log-scale buckets survive past the
+     reservoir cap, and a fresh instance needs no reset between runs. *)
+  let latencies = Metrics.Histogram.create "driver.latency_us" in
   List.iter
     (fun id ->
       let node = Cluster.node cluster id in
@@ -47,7 +48,7 @@ let run cluster ?nodes ?threads ~warmup_us ~duration_us ~issue () =
                 if now >= start && now < stop then begin
                   if ok then begin
                     incr committed;
-                    Zeus_sim.Stats.Samples.add latencies (now -. issued_at)
+                    Metrics.Histogram.observe latencies (now -. issued_at)
                   end
                   else incr aborted
                 end;
@@ -72,6 +73,6 @@ let run cluster ?nodes ?threads ~warmup_us ~duration_us ~issue () =
     mtps = float_of_int c /. duration_us;
     abort_rate =
       (if c + a = 0 then 0.0 else float_of_int a /. float_of_int (c + a));
-    lat_p50_us = Zeus_sim.Stats.Samples.percentile latencies 50.0;
-    lat_p99_us = Zeus_sim.Stats.Samples.percentile latencies 99.0;
+    lat_p50_us = Metrics.Histogram.percentile latencies 50.0;
+    lat_p99_us = Metrics.Histogram.percentile latencies 99.0;
   }

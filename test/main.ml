@@ -2,6 +2,7 @@ let () =
   Alcotest.run "zeus"
     [
       ("sim", Test_sim.suite);
+      ("telemetry", Test_telemetry.suite);
       ("net", Test_net.suite);
       ("membership", Test_membership.suite);
       ("store", Test_store.suite);

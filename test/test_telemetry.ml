@@ -1,0 +1,298 @@
+(* Telemetry layer: typed metrics (bucketing, percentile edge cases),
+   trace spans (nesting, ordering, idempotent finish, drop accounting),
+   exporter JSON validity, and an end-to-end Smallbank trace check. *)
+
+module Metrics = Zeus_telemetry.Metrics
+module Trace = Zeus_telemetry.Trace
+module Jsonv = Zeus_telemetry.Jsonv
+module Cluster = Zeus_core.Cluster
+module Config = Zeus_core.Config
+module W = Zeus_workload
+
+let tc = Helpers.tc
+let check = Alcotest.check
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* ---- histogram bucketing ---- *)
+
+let bucket_index_bounds () =
+  let h = Metrics.Histogram.create ~lo:1.0 ~decades:3 ~per_decade:5 "t" in
+  (* Every in-range value must land in a bucket whose [lo, hi) contains it. *)
+  List.iter
+    (fun v ->
+      let i = Metrics.Histogram.index h v in
+      let lo = Metrics.Histogram.bucket_lo h i in
+      let hi = Metrics.Histogram.bucket_hi h i in
+      if not (lo <= v && v < hi) then
+        Alcotest.failf "value %g in bucket %d [%g, %g)" v i lo hi)
+    [ 1.0; 1.5; 2.0; 9.99; 10.0; 123.0; 999.0 ];
+  (* Below [lo] is underflow (index 0 with bucket_lo 0); past the top
+     decade is overflow (bucket_hi infinite). *)
+  let u = Metrics.Histogram.index h 0.5 in
+  check Alcotest.int "underflow index" 0 u;
+  checkf "underflow lo" 0.0 (Metrics.Histogram.bucket_lo h u);
+  let o = Metrics.Histogram.index h 5_000.0 in
+  check Alcotest.bool "overflow hi is inf" true
+    (Metrics.Histogram.bucket_hi h o = infinity);
+  check Alcotest.int "nan index" (-1) (Metrics.Histogram.index h nan)
+
+let bucket_index_monotone () =
+  let h = Metrics.Histogram.create ~lo:0.01 ~decades:8 ~per_decade:5 "t" in
+  let prev = ref (-1) in
+  let v = ref 0.005 in
+  while !v < 1.0e7 do
+    let i = Metrics.Histogram.index h !v in
+    if i < !prev then Alcotest.failf "index not monotone at %g" !v;
+    prev := i;
+    v := !v *. 1.07
+  done
+
+let bucketed_percentile_close () =
+  let h = Metrics.Histogram.create ~lo:0.01 ~decades:8 ~per_decade:5 "t" in
+  for i = 1 to 1_000 do
+    Metrics.Histogram.observe h (float_of_int i)
+  done;
+  List.iter
+    (fun p ->
+      let exact = Metrics.Histogram.percentile h p in
+      let est = Metrics.Histogram.percentile_bucketed h p in
+      (* A 5-per-decade log bucket spans a factor of 10^(1/5) ~ 1.58; the
+         estimate must stay within one bucket of the exact value. *)
+      if est < exact /. 1.6 || est > exact *. 1.6 then
+        Alcotest.failf "p%g: bucketed %g vs exact %g" p est exact)
+    [ 10.0; 50.0; 90.0; 99.0 ];
+  let total =
+    List.fold_left
+      (fun acc (_, _, n) -> acc + n)
+      0
+      (Metrics.Histogram.nonzero_buckets h)
+  in
+  check Alcotest.int "bucket counts sum to observations" 1_000 total
+
+(* ---- percentile edge cases ---- *)
+
+let percentile_edges () =
+  let h = Metrics.Histogram.create "t" in
+  check Alcotest.bool "empty p50 is nan" true
+    (Float.is_nan (Metrics.Histogram.percentile h 50.0));
+  check Alcotest.bool "empty mean is nan" true
+    (Float.is_nan (Metrics.Histogram.mean h));
+  Metrics.Histogram.observe h 7.0;
+  checkf "single p0" 7.0 (Metrics.Histogram.percentile h 0.0);
+  checkf "single p50" 7.0 (Metrics.Histogram.percentile h 50.0);
+  checkf "single p100" 7.0 (Metrics.Histogram.percentile h 100.0);
+  Metrics.Histogram.observe h 1.0;
+  Metrics.Histogram.observe h 3.0;
+  checkf "p0 is min" 1.0 (Metrics.Histogram.percentile h 0.0);
+  checkf "p100 is max" 7.0 (Metrics.Histogram.percentile h 100.0);
+  (* NaN observations are dropped, not poisoning the distribution. *)
+  Metrics.Histogram.observe h nan;
+  check Alcotest.int "nan dropped from count" 3 (Metrics.Histogram.count h);
+  check Alcotest.bool "p50 still finite" true
+    (Float.is_finite (Metrics.Histogram.percentile h 50.0))
+
+let registry_idempotent () =
+  let m = Metrics.create () in
+  let a = Metrics.Counter.v m "c" in
+  let b = Metrics.Counter.v m "c" in
+  Metrics.Counter.incr a;
+  Metrics.Counter.incr ~by:2 b;
+  check Alcotest.int "same cell" 3 (Metrics.Counter.get a);
+  check
+    Alcotest.(list (pair string int))
+    "one registered counter" [ ("c", 3) ] (Metrics.counters m);
+  let h1 = Metrics.Histogram.v m "h" in
+  let h2 = Metrics.Histogram.v m "h" in
+  Metrics.Histogram.observe h1 1.0;
+  Metrics.Histogram.observe h2 2.0;
+  check Alcotest.int "same histogram" 2 (Metrics.Histogram.count h1)
+
+(* ---- trace spans ---- *)
+
+let manual_clock () =
+  let now = ref 0.0 in
+  ((fun () -> !now), fun t -> now := t)
+
+let span_nesting_and_ordering () =
+  let now, set = manual_clock () in
+  let tr = Trace.create ~enabled:true ~now () in
+  set 10.0;
+  let root = Trace.start_span tr ~cat:"txn" ~pid:0 ~tid:1 "txn" in
+  set 12.0;
+  let child = Trace.start_span tr ~cat:"txn" ~pid:0 ~tid:1 ~parent:root "own" in
+  set 15.0;
+  Trace.finish tr child;
+  Trace.complete tr ~cat:"txn" ~pid:0 ~tid:1 ~parent:root ~start:15.0 ~stop:18.0
+    "exec";
+  set 20.0;
+  Trace.finish tr ~args:[ ("result", "committed") ] root;
+  check Alcotest.int "three spans" 3 (Trace.count tr);
+  let roots = Trace.roots tr in
+  check Alcotest.int "one root" 1 (List.length roots);
+  let r = List.hd roots in
+  checkf "root start" 10.0 r.Trace.start;
+  checkf "root stop" 20.0 r.Trace.stop;
+  check
+    Alcotest.(option string)
+    "root args" (Some "committed")
+    (List.assoc_opt "result" r.Trace.args);
+  (match Trace.children tr r with
+  | [ a; b ] ->
+    check Alcotest.string "children sorted by start" "own" a.Trace.name;
+    check Alcotest.string "second child" "exec" b.Trace.name;
+    check Alcotest.bool "nested in root" true
+      (r.Trace.start <= a.Trace.start && b.Trace.stop <= r.Trace.stop)
+  | kids -> Alcotest.failf "expected 2 children, got %d" (List.length kids));
+  (* [spans] comes back sorted by start time. *)
+  let starts = List.map (fun s -> s.Trace.start) (Trace.spans tr) in
+  check Alcotest.bool "spans sorted" true (List.sort compare starts = starts)
+
+let finish_idempotent () =
+  let now, set = manual_clock () in
+  let tr = Trace.create ~enabled:true ~now () in
+  let sp = Trace.start_span tr ~cat:"c" ~pid:0 "s" in
+  set 5.0;
+  Trace.finish tr sp;
+  set 9.0;
+  Trace.finish tr sp;
+  (* The late duplicate must not move the recorded stop. *)
+  checkf "first finish wins" 5.0 sp.Trace.stop
+
+let disabled_trace_is_null () =
+  let tr = Trace.create ~now:(fun () -> 0.0) () in
+  let sp = Trace.start_span tr ~cat:"c" ~pid:0 "s" in
+  check Alcotest.bool "null span" true (Trace.is_null sp);
+  Trace.finish tr sp;
+  Trace.complete tr ~cat:"c" ~pid:0 ~start:0.0 ~stop:1.0 "x";
+  check Alcotest.int "nothing recorded" 0 (Trace.count tr)
+
+let max_spans_drops () =
+  let tr = Trace.create ~enabled:true ~max_spans:2 ~now:(fun () -> 0.0) () in
+  for i = 0 to 4 do
+    Trace.complete tr ~cat:"c" ~pid:0 ~start:0.0 ~stop:1.0 (string_of_int i)
+  done;
+  check Alcotest.int "capped" 2 (Trace.count tr);
+  check Alcotest.int "drops counted" 3 (Trace.dropped tr)
+
+(* ---- exporters ---- *)
+
+let chrome_export_parses () =
+  let now, set = manual_clock () in
+  let tr = Trace.create ~enabled:true ~now () in
+  let root = Trace.start_span tr ~cat:"txn" ~pid:0 "txn \"quoted\"\n" in
+  set 3.5;
+  Trace.finish tr root;
+  let s = Trace.to_chrome_string tr in
+  match Jsonv.parse s with
+  | Error e -> Alcotest.failf "chrome export unparseable: %s" e
+  | Ok v -> (
+    match Option.bind (Jsonv.member "traceEvents" v) Jsonv.to_list with
+    | None -> Alcotest.fail "no traceEvents array"
+    | Some events ->
+      (* span + process-name metadata; the escaped name survives a round
+         trip through the JSON reader. *)
+      check Alcotest.bool "at least span + metadata" true (List.length events >= 2);
+      let names =
+        List.filter_map (fun e -> Option.bind (Jsonv.member "name" e) Jsonv.to_string) events
+      in
+      check Alcotest.bool "escaped name round-trips" true
+        (List.mem "txn \"quoted\"\n" names))
+
+let jsonl_export_parses () =
+  let tr = Trace.create ~enabled:true ~now:(fun () -> 1.0) () in
+  Trace.complete tr ~cat:"c" ~pid:0 ~args:[ ("k", "v") ] ~start:1.0 ~stop:2.0 "a";
+  Trace.complete tr ~cat:"c" ~pid:1 ~start:2.0 ~stop:3.0 "b";
+  let lines =
+    String.split_on_char '\n' (String.trim (Trace.to_jsonl_string tr))
+  in
+  check Alcotest.int "one line per span" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      match Jsonv.parse l with
+      | Error e -> Alcotest.failf "bad jsonl line %S: %s" l e
+      | Ok v ->
+        check Alcotest.bool "has name" true (Jsonv.member "name" v <> None))
+    lines
+
+(* ---- end to end: Smallbank under tracing ---- *)
+
+(* Deterministic small run; every committed transaction must carry the
+   ownership -> execute -> replicate phase decomposition with monotone,
+   nested sim-time bounds (the zeus_cli trace acceptance check, in-tree). *)
+let smallbank_phases () =
+  let nodes = 3 in
+  let config = { Config.default with Config.nodes; record_history = false } in
+  let cluster = Cluster.create ~config ~tracing:true () in
+  let rng = Zeus_sim.Engine.fork_rng (Cluster.engine cluster) in
+  let w = W.Smallbank.create ~accounts_per_node:200 ~nodes ~remote_frac:0.0 rng in
+  Cluster.populate_n cluster ~n:(W.Smallbank.total_keys w)
+    ~owner_of:(fun k -> W.Smallbank.home_of_key w k)
+    (fun _ -> Bytes.copy W.Smallbank.initial_value);
+  let r =
+    W.Driver.run cluster ~warmup_us:200.0 ~duration_us:1_000.0
+      ~issue:(fun node ~thread ~seq:_ done_ ->
+        W.Spec.run_on_zeus node ~thread
+          (W.Smallbank.gen w ~home:(Zeus_core.Node.id node))
+          (fun o -> done_ (o = Zeus_store.Txn.Committed)))
+      ()
+  in
+  check Alcotest.bool "committed some" true (r.W.Driver.committed > 50);
+  let tr = Cluster.trace cluster in
+  check Alcotest.int "no dropped spans" 0 (Trace.dropped tr);
+  let all = Trace.spans tr in
+  let by_parent = Hashtbl.create 1024 in
+  List.iter
+    (fun (sp : Trace.span) ->
+      if sp.Trace.parent >= 0 then
+        Hashtbl.replace by_parent sp.Trace.parent
+          (sp :: Option.value ~default:[] (Hashtbl.find_opt by_parent sp.Trace.parent)))
+    all;
+  let committed_roots =
+    List.filter
+      (fun (sp : Trace.span) ->
+        sp.Trace.parent < 0
+        && sp.Trace.name = "txn"
+        && List.assoc_opt "result" sp.Trace.args = Some "committed")
+      all
+  in
+  check Alcotest.bool "committed txns traced" true (committed_roots <> []);
+  List.iter
+    (fun (root : Trace.span) ->
+      let kids = Option.value ~default:[] (Hashtbl.find_opt by_parent root.Trace.id) in
+      let find n = List.find_opt (fun (k : Trace.span) -> k.Trace.name = n) kids in
+      match (find "ownership", find "execute", find "replicate") with
+      | Some o, Some e, Some r ->
+        let ok =
+          root.Trace.start <= o.Trace.start
+          && o.Trace.start <= o.Trace.stop
+          && o.Trace.stop <= e.Trace.start
+          && e.Trace.start <= e.Trace.stop
+          && e.Trace.stop <= r.Trace.start
+          && r.Trace.start <= r.Trace.stop
+          && r.Trace.stop <= root.Trace.stop
+        in
+        if not ok then
+          Alcotest.failf "txn span %d: phases not monotone/nested" root.Trace.id
+      | _ -> Alcotest.failf "txn span %d: missing phase spans" root.Trace.id)
+    committed_roots;
+  (* The shared phase histograms fed from the same places the spans did. *)
+  let hm = Zeus_telemetry.Hub.metrics (Cluster.telemetry cluster) in
+  let e2e = Metrics.Histogram.v hm "txn.e2e_us" in
+  check Alcotest.bool "e2e histogram populated" true
+    (Metrics.Histogram.count e2e >= List.length committed_roots)
+
+let suite =
+  [
+    tc "histogram: bucket index bounds" bucket_index_bounds;
+    tc "histogram: bucket index monotone" bucket_index_monotone;
+    tc "histogram: bucketed percentile near exact" bucketed_percentile_close;
+    tc "histogram: percentile edge cases" percentile_edges;
+    tc "metrics: registration idempotent" registry_idempotent;
+    tc "trace: span nesting and ordering" span_nesting_and_ordering;
+    tc "trace: finish idempotent" finish_idempotent;
+    tc "trace: disabled is free" disabled_trace_is_null;
+    tc "trace: max_spans drop accounting" max_spans_drops;
+    tc "trace: chrome export parses" chrome_export_parses;
+    tc "trace: jsonl export parses" jsonl_export_parses;
+    tc "integration: smallbank phase spans" smallbank_phases;
+  ]
