@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-quick bench-smoke trace-smoke clean
+.PHONY: all build test check bench bench-quick bench-smoke chaos-smoke trace-smoke clean
 
 all: build
 
@@ -30,6 +30,23 @@ bench-smoke: build
 	done
 	@echo "bench-smoke: BENCH_transport.json OK"
 
+# Quick fault-injection run (Smallbank under follower / owner / directory
+# crashes) + sanity-check of the machine-readable BENCH_faults.json: all
+# expected keys present, every scenario's goodput recovered (no
+# "recovery_us": null), and every invariant monitor passed.
+chaos-smoke: build
+	rm -f BENCH_faults.json
+	dune exec bench/main.exe -- --quick faults
+	@test -s BENCH_faults.json || { echo "chaos-smoke: BENCH_faults.json missing or empty" >&2; exit 1; }
+	@for key in follower owner directory baseline_mtps dip_mtps recovery_us timeline monitors_ok; do \
+	  grep -q "\"$$key\"" BENCH_faults.json || { echo "chaos-smoke: key \"$$key\" missing from BENCH_faults.json" >&2; exit 1; }; \
+	done
+	@if grep -q '"recovery_us": null' BENCH_faults.json; then \
+	  echo "chaos-smoke: a scenario never recovered its goodput" >&2; exit 1; fi
+	@if grep -q '"monitors_ok": false' BENCH_faults.json; then \
+	  echo "chaos-smoke: an invariant monitor reported a violation" >&2; exit 1; fi
+	@echo "chaos-smoke: BENCH_faults.json OK"
+
 # Quick traced Smallbank run.  The trace subcommand itself validates the
 # exported file (parses as Chrome trace JSON, every committed transaction
 # carries ownership/execute/replicate spans with nested sim-time bounds)
@@ -42,4 +59,4 @@ trace-smoke: build
 
 clean:
 	dune clean
-	rm -f BENCH_locality.json BENCH_transport.json trace.json
+	rm -f BENCH_locality.json BENCH_transport.json BENCH_faults.json trace.json

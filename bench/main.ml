@@ -212,6 +212,15 @@ let emit_transport_json path =
     close_out oc;
     Printf.printf "wrote %s\n%!" path
 
+(* Machine-readable results for the fault-injection experiment (consumed
+   by the chaos-smoke CI check). *)
+let emit_faults_json path =
+  match Zeus_experiments.Faults.last_results () with
+  | None -> ()
+  | Some r ->
+    Zeus_chaos.Report.write ~path (Zeus_experiments.Faults.report r);
+    Printf.printf "wrote %s\n%!" path
+
 let () =
   (* Experiment tables go through Tlog at Info; the library default (Warn)
      would silence them for this user-facing entry point. *)
@@ -235,5 +244,6 @@ let () =
         ids);
     emit_locality_json "BENCH_locality.json";
     emit_transport_json "BENCH_transport.json";
+    emit_faults_json "BENCH_faults.json";
     Printf.printf "\nAll experiments done.\n%!"
   end

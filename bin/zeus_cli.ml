@@ -5,6 +5,8 @@
      zeus_cli run all [--quick]    # the whole evaluation
      zeus_cli bench smallbank --nodes 3 --remote 0.02
                                    # one-off Zeus throughput measurement
+     zeus_cli chaos --seed 7 --faults 4 --quick
+                                   # Smallbank under a random fault schedule
      zeus_cli trace --workload smallbank --quick --out trace.json
                                    # per-transaction phase trace capture *)
 
@@ -111,6 +113,121 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"One-off Zeus throughput measurement.")
     Term.(const run $ workload $ nodes $ remote $ duration)
+
+(* ---- chaos ---- *)
+
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Schedule seed (same seed, same fault timeline).")
+  in
+  let nodes = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Cluster size.") in
+  let faults =
+    Arg.(value & opt int 3 & info [ "faults" ] ~doc:"Incident windows in the random schedule.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt float 20_000.0
+      & info [ "duration-us" ] ~doc:"Virtual time under chaos (after warm-up).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH" ~doc:"Write the machine-readable report (JSON).")
+  in
+  let run quick seed nodes faults duration out =
+    let module Chaos = Zeus_chaos in
+    let module Cluster = Zeus_core.Cluster in
+    let module Node = Zeus_core.Node in
+    let module Engine = Zeus_sim.Engine in
+    (* auto_trim off for the same reason as the faults experiment: the
+       known trim-wedge corner would read as a chaos-found regression. *)
+    let config =
+      { Zeus_core.Config.default with Zeus_core.Config.nodes; auto_trim = false }
+    in
+    let cluster = Cluster.create ~config () in
+    let eng = Cluster.engine cluster in
+    let rng = Engine.fork_rng eng in
+    let w =
+      Zeus_workload.Smallbank.create
+        ~accounts_per_node:(if quick then 50 else 200)
+        ~nodes ~remote_frac:0.1 rng
+    in
+    Cluster.populate_n cluster ~n:(Zeus_workload.Smallbank.total_keys w)
+      ~owner_of:(fun k -> Zeus_workload.Smallbank.home_of_key w k)
+      (fun _ -> Bytes.copy Zeus_workload.Smallbank.initial_value);
+    let warmup_us = if quick then 1_000.0 else 3_000.0 in
+    let duration = if quick then Float.min duration 10_000.0 else duration in
+    let schedule =
+      Chaos.Schedule.random ~seed ~nodes ~start_us:warmup_us ~duration_us:duration
+        ~faults ()
+    in
+    Tel.Tlog.info_string (Chaos.Schedule.to_string schedule ^ "\n");
+    let monitor = Chaos.Monitor.attach cluster in
+    let nemesis = Chaos.Nemesis.attach ~monitor cluster schedule in
+    let end_us = warmup_us +. duration +. 6_000.0 in
+    let issuing = ref true in
+    for n = 0 to nodes - 1 do
+      let node = Cluster.node cluster n in
+      for thread = 0 to 3 do
+        let rec loop () =
+          if !issuing then begin
+            if Node.is_alive node then
+              Zeus_workload.Spec.run_on_zeus node ~thread
+                (Zeus_workload.Smallbank.gen w ~home:(Node.id node))
+                (fun _ -> loop ())
+            else ignore (Engine.schedule eng ~after:250.0 (fun () -> loop ()))
+          end
+        in
+        ignore
+          (Engine.schedule eng
+             ~after:(0.1 *. float_of_int ((n * 4) + thread))
+             (fun () -> loop ()))
+      done
+    done;
+    Cluster.run cluster ~until_us:end_us;
+    issuing := false;
+    Chaos.Monitor.stop monitor;
+    Cluster.run_quiesce cluster ~max_us:(end_us +. 100_000.0) ();
+    List.iter
+      (fun (at, f) ->
+        Tel.Tlog.infof "%10.1f us  %s" at (Chaos.Schedule.fault_to_string f))
+      (Chaos.Nemesis.applied nemesis);
+    Tel.Tlog.infof "%d committed, %d aborted, %d monitor samples"
+      (Cluster.total_committed cluster)
+      (Cluster.total_aborted cluster)
+      (Chaos.Monitor.samples monitor);
+    let fault_at_us =
+      match Chaos.Nemesis.applied nemesis with (at, _) :: _ -> at | [] -> warmup_us
+    in
+    let scenario =
+      Chaos.Report.of_monitor
+        ~name:(Printf.sprintf "random-%Ld" seed)
+        ~fault_at_us
+        ~committed:(Cluster.total_committed cluster)
+        ~aborted:(Cluster.total_aborted cluster)
+        monitor
+    in
+    Option.iter
+      (fun path ->
+        Chaos.Report.write ~path
+          { Chaos.Report.quick; seed; scenarios = [ scenario ] };
+        Tel.Tlog.infof "wrote %s" path)
+      out;
+    match Chaos.Monitor.check_final monitor with
+    | Ok () ->
+      Tel.Tlog.infof "all invariants held under %d applied faults"
+        (List.length (Chaos.Nemesis.applied nemesis));
+      `Ok ()
+    | Error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run Smallbank under a seeded random fault schedule with the online \
+          invariant monitors armed; non-zero exit on any violation.")
+    Term.(ret (const run $ quick $ seed $ nodes $ faults $ duration $ out))
 
 (* ---- trace ---- *)
 
@@ -268,4 +385,5 @@ let () =
   let doc = "Zeus: locality-aware distributed transactions (EuroSys '21 reproduction)" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "zeus_cli" ~doc) [ list_cmd; run_cmd; bench_cmd; trace_cmd ]))
+       (Cmd.group (Cmd.info "zeus_cli" ~doc)
+          [ list_cmd; run_cmd; bench_cmd; chaos_cmd; trace_cmd ]))

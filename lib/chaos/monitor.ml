@@ -1,0 +1,275 @@
+module Engine = Zeus_sim.Engine
+module Metrics = Zeus_telemetry.Metrics
+module Fabric = Zeus_net.Fabric
+module Service = Zeus_membership.Service
+module Cluster = Zeus_core.Cluster
+module Node = Zeus_core.Node
+module Table = Zeus_store.Table
+module Obj = Zeus_store.Obj
+module Types = Zeus_store.Types
+
+type config = {
+  sample_us : float;
+  window_us : float;
+  grace_us : float;
+  recovery_frac : float;
+  baseline_windows : int;
+}
+
+let default_config =
+  {
+    sample_us = 200.0;
+    window_us = 500.0;
+    grace_us = 4_000.0;
+    recovery_frac = 0.9;
+    baseline_windows = 8;
+  }
+
+type t = {
+  cluster : Cluster.t;
+  config : config;
+  observed : int list;
+  started_at : float;
+  mutable bins : int list;  (* newest first; current bin at the head *)
+  mutable last_committed : int;
+  mutable last_fault_at : float;
+  mutable violations : string list;  (* newest first *)
+  watermarks : (int, int) Hashtbl.t;  (* key -> highest valid version seen *)
+  owner_suspect : (int, int) Hashtbl.t;  (* key -> consecutive multi-owner samples *)
+  mutable stopped : bool;
+  mutable sample_ev : Engine.event_id option;
+  mutable window_ev : Engine.event_id option;
+  c_samples : Metrics.Counter.h;
+  c_violations : Metrics.Counter.h;
+}
+
+let max_recorded_violations = 32
+
+let engine t = Cluster.engine t.cluster
+
+let observed_committed t =
+  List.fold_left (fun acc i -> acc + Node.committed (Cluster.node t.cluster i)) 0 t.observed
+
+let violate t fmt =
+  Format.kasprintf
+    (fun msg ->
+      Metrics.Counter.incr t.c_violations;
+      if List.length t.violations < max_recorded_violations then
+        t.violations <-
+          Printf.sprintf "[%.1fus] %s" (Engine.now (engine t)) msg :: t.violations)
+    fmt
+
+(* ---------- steady-state detection ---------------------------------------- *)
+
+let steady t =
+  let c = t.cluster in
+  let n = Cluster.nodes c in
+  List.length (Cluster.live_nodes c) = n
+  && Service.stable (Cluster.membership c)
+  && List.for_all (fun i -> Service.is_live (Cluster.membership c) i) (List.init n Fun.id)
+  && Engine.now (engine t) >= t.last_fault_at +. t.config.grace_us
+
+(* ---------- invariant sampling --------------------------------------------- *)
+
+(* One pass over the live tables: per key, the number of live owners, the
+   highest version held by any live copy, and the highest version held by
+   a valid copy (-1 when no valid copy).  The watermark tracks the former:
+   an invalidated follower already carries the in-flight version (the
+   commit agent bumps [t_version] at R-INV), so max-over-valid-copies dips
+   transiently under pipelined writes while max-over-all-copies is
+   monotone in steady state. *)
+let scan t =
+  let acc : (int, int * int * int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun i ->
+      Table.iter (Node.table (Cluster.node t.cluster i)) (fun obj ->
+          let owners, vmax, vvalid =
+            Option.value ~default:(0, -1, -1) (Hashtbl.find_opt acc obj.Obj.key)
+          in
+          (* A stale owner mid-handover keeps role=Owner until its O-VAL
+             drains through the in-order flow, but sits at o_state
+             O_invalid and cannot commit; only a usable owner (role +
+             O_valid) counts for the online single-owner check. *)
+          let usable = Obj.is_owner obj && obj.Obj.o_state = Types.O_valid in
+          let owners = owners + if usable then 1 else 0 in
+          let vmax = max vmax obj.Obj.t_version in
+          let vvalid =
+            if obj.Obj.t_state = Types.T_valid then max vvalid obj.Obj.t_version
+            else vvalid
+          in
+          Hashtbl.replace acc obj.Obj.key (owners, vmax, vvalid)))
+    (Cluster.live_nodes t.cluster);
+  acc
+
+let sample_invariants t =
+  Metrics.Counter.incr t.c_samples;
+  let acc = scan t in
+  (* Single owner: flag only when the same key shows more than one live
+     owner in two consecutive samples — a handover caught mid-arbitration
+     resolves within microseconds, a real violation persists. *)
+  Hashtbl.iter
+    (fun key (owners, _, _) ->
+      if owners > 1 then begin
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.owner_suspect key) in
+        Hashtbl.replace t.owner_suspect key n;
+        if n = 2 then violate t "key %d: %d live owners (persisted)" key owners
+      end
+      else Hashtbl.remove t.owner_suspect key)
+    acc;
+  (* Version monotonicity: the highest version held by any live copy must
+     never regress while the cluster is steady — a regression means a
+     committed (or reliably in-flight) write vanished. *)
+  Hashtbl.iter
+    (fun key (_, vmax, _) ->
+      if vmax >= 0 then begin
+        (match Hashtbl.find_opt t.watermarks key with
+        | Some w when vmax < w ->
+          violate t "key %d: valid-version watermark regressed %d -> %d" key w vmax
+        | _ -> ());
+        Hashtbl.replace t.watermarks key
+          (max vmax (Option.value ~default:(-1) (Hashtbl.find_opt t.watermarks key)))
+      end)
+    acc;
+  (* A freed key's watermark must not outlive it. *)
+  Hashtbl.iter
+    (fun key _ -> if not (Hashtbl.mem acc key) then Hashtbl.remove t.watermarks key)
+    (Hashtbl.copy t.watermarks)
+
+(* ---------- sampling loops ------------------------------------------------- *)
+
+let rec arm_sample t =
+  t.sample_ev <-
+    Some
+      (Engine.schedule (engine t) ~after:t.config.sample_us (fun () ->
+           t.sample_ev <- None;
+           if not t.stopped then begin
+             if steady t then sample_invariants t
+             else Hashtbl.reset t.owner_suspect;
+             arm_sample t
+           end))
+
+let rec arm_window t =
+  t.window_ev <-
+    Some
+      (Engine.schedule (engine t) ~after:t.config.window_us (fun () ->
+           t.window_ev <- None;
+           if not t.stopped then begin
+             let cur = observed_committed t in
+             (* A rejoined node's counters reset with it; clamp so the
+                timeline never goes negative. *)
+             t.bins <- max 0 (cur - t.last_committed) :: t.bins;
+             t.last_committed <- cur;
+             arm_window t
+           end))
+
+let attach ?(config = default_config) ?observed cluster =
+  let observed =
+    Option.value observed ~default:(List.init (Cluster.nodes cluster) Fun.id)
+  in
+  let m = Zeus_telemetry.Hub.metrics (Cluster.telemetry cluster) in
+  let t =
+    {
+      cluster;
+      config;
+      observed;
+      started_at = Engine.now (Cluster.engine cluster);
+      bins = [];
+      last_committed = 0;
+      last_fault_at = Float.neg_infinity;
+      violations = [];
+      watermarks = Hashtbl.create 256;
+      owner_suspect = Hashtbl.create 16;
+      stopped = false;
+      sample_ev = None;
+      window_ev = None;
+      c_samples = Metrics.Counter.v m "chaos.monitor.samples";
+      c_violations = Metrics.Counter.v m "chaos.monitor.violations";
+    }
+  in
+  t.last_committed <- observed_committed t;
+  arm_sample t;
+  arm_window t;
+  t
+
+let config t = t.config
+let note_fault t = t.last_fault_at <- Engine.now (engine t)
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (match t.sample_ev with Some ev -> Engine.cancel (engine t) ev | None -> ());
+    (match t.window_ev with Some ev -> Engine.cancel (engine t) ev | None -> ());
+    t.sample_ev <- None;
+    t.window_ev <- None
+  end
+
+let samples t = Metrics.Counter.get t.c_samples
+let violations t = List.rev t.violations
+let ok t = t.violations = []
+
+let timeline t =
+  List.rev
+    (List.mapi
+       (fun i count ->
+         let newest = List.length t.bins - 1 in
+         (t.started_at +. (float_of_int (newest - i) *. t.config.window_us), count))
+       t.bins)
+
+let goodput t =
+  List.map (fun (at, n) -> (at, float_of_int n /. t.config.window_us)) (timeline t)
+
+(* ---------- recovery extraction -------------------------------------------- *)
+
+let recovery_of_timeline ~window_us ~frac ~baseline_windows ~fault_at_us tl =
+  let pre = List.filter (fun (at, _) -> at +. window_us <= fault_at_us) tl in
+  let pre = List.filteri (fun i _ -> i >= List.length pre - baseline_windows) pre in
+  if pre = [] then None
+  else begin
+    let baseline =
+      List.fold_left (fun acc (_, n) -> acc +. float_of_int n) 0.0 pre
+      /. float_of_int (List.length pre)
+    in
+    if baseline <= 0.0 then None
+    else begin
+      let target = frac *. baseline in
+      (* Recovered at the first of two consecutive windows back at the
+         target rate (one good window alone can be a retry burst). *)
+      let post = List.filter (fun (at, _) -> at >= fault_at_us) tl in
+      let rec find = function
+        | (at, n) :: ((_, n') :: _ as rest) ->
+          if float_of_int n >= target && float_of_int n' >= target then
+            Some (at +. window_us -. fault_at_us)
+          else find rest
+        | [ (at, n) ] ->
+          if float_of_int n >= target then Some (at +. window_us -. fault_at_us) else None
+        | [] -> None
+      in
+      find post
+    end
+  end
+
+let recovery_us t ~fault_at_us =
+  recovery_of_timeline ~window_us:t.config.window_us ~frac:t.config.recovery_frac
+    ~baseline_windows:t.config.baseline_windows ~fault_at_us (timeline t)
+
+(* ---------- final convergence check ---------------------------------------- *)
+
+let check_final t =
+  match violations t with
+  | v :: _ -> Error (Printf.sprintf "online monitor: %s" v)
+  | [] -> (
+    match Cluster.check_invariants t.cluster with
+    | Error _ as e -> e
+    | Ok () ->
+      (* Replica convergence: after every fault heals and the run drains,
+         each surviving key must retain at least one valid copy — a key
+         whose copies are all stuck invalid lost its validation and will
+         wedge every future transaction that touches it. *)
+      let acc = scan t in
+      let stuck = ref None in
+      Hashtbl.iter
+        (fun key (_, _, vvalid) -> if vvalid < 0 && !stuck = None then stuck := Some key)
+        acc;
+      (match !stuck with
+      | Some key -> Error (Printf.sprintf "key %d: no valid copy after quiesce" key)
+      | None -> Ok ()))

@@ -1,0 +1,153 @@
+module Engine = Zeus_sim.Engine
+module Metrics = Zeus_telemetry.Metrics
+module Trace = Zeus_telemetry.Trace
+module Hub = Zeus_telemetry.Hub
+module Fabric = Zeus_net.Fabric
+module Cluster = Zeus_core.Cluster
+module Node = Zeus_core.Node
+
+type counters = {
+  c_crashes : Metrics.Counter.h;
+  c_restarts : Metrics.Counter.h;
+  c_partitions : Metrics.Counter.h;
+  c_heals : Metrics.Counter.h;
+  c_spikes : Metrics.Counter.h;
+  c_slow : Metrics.Counter.h;
+  c_skipped : Metrics.Counter.h;
+}
+
+type t = {
+  cluster : Cluster.t;
+  schedule : Schedule.t;
+  monitor : Monitor.t option;
+  counters : counters option;  (* [None] for the empty schedule: zero footprint *)
+  mutable applied : (float * Schedule.fault) list;  (* newest first *)
+  mutable fired : int;
+  mutable skipped : int;
+}
+
+let node_of = function
+  | Schedule.Crash n | Restart n | Slow { node = n; _ } | Slow_end n -> n
+  | Partition (a, _) | Heal (a, _) -> a
+  | Partition_oneway { src; _ } | Heal_oneway { src; _ } -> src
+  | Heal_all | Spike _ | Spike_end -> 0
+
+let instant t fault =
+  let tr = Cluster.trace t.cluster in
+  if Trace.enabled tr then begin
+    let now = Engine.now (Cluster.engine t.cluster) in
+    Trace.complete tr ~cat:"chaos" ~pid:(node_of fault) ~start:now ~stop:now
+      (Schedule.fault_to_string fault)
+  end
+
+(* Heals close an incident; they must not push the monitor's steady-state
+   grace window further out, or back-to-back windows would starve it. *)
+let disruptive = function
+  | Schedule.Crash _ | Restart _ | Partition _ | Partition_oneway _ | Spike _ | Slow _
+    ->
+    true
+  | Heal _ | Heal_oneway _ | Heal_all | Spike_end | Slow_end _ -> false
+
+let apply t cnt (fault : Schedule.fault) =
+  let c = t.cluster in
+  let fabric = Cluster.fabric c in
+  let applied =
+    match fault with
+    | Crash n ->
+      if Node.is_alive (Cluster.node c n) then begin
+        Cluster.kill c n;
+        Metrics.Counter.incr cnt.c_crashes;
+        true
+      end
+      else false
+    | Restart n ->
+      if not (Node.is_alive (Cluster.node c n)) then begin
+        Cluster.rejoin c n;
+        Metrics.Counter.incr cnt.c_restarts;
+        true
+      end
+      else false
+    | Partition (a, b) ->
+      Fabric.partition fabric a b;
+      Metrics.Counter.incr cnt.c_partitions;
+      true
+    | Partition_oneway { src; dst } ->
+      Fabric.partition_oneway fabric ~src ~dst;
+      Metrics.Counter.incr cnt.c_partitions;
+      true
+    | Heal (a, b) ->
+      Fabric.heal fabric a b;
+      Metrics.Counter.incr cnt.c_heals;
+      true
+    | Heal_oneway { src; dst } ->
+      Fabric.heal_oneway fabric ~src ~dst;
+      Metrics.Counter.incr cnt.c_heals;
+      true
+    | Heal_all ->
+      Fabric.heal_all fabric;
+      Metrics.Counter.incr cnt.c_heals;
+      true
+    | Spike { loss; dup; delay_us } ->
+      Fabric.set_perturb fabric
+        (Some { Fabric.p_loss = loss; p_dup = dup; p_delay_us = delay_us });
+      Metrics.Counter.incr cnt.c_spikes;
+      true
+    | Spike_end ->
+      Fabric.set_perturb fabric None;
+      Metrics.Counter.incr cnt.c_spikes;
+      true
+    | Slow { node; factor } ->
+      Fabric.set_slow fabric node factor;
+      Metrics.Counter.incr cnt.c_slow;
+      true
+    | Slow_end node ->
+      Fabric.set_slow fabric node 1.0;
+      Metrics.Counter.incr cnt.c_slow;
+      true
+  in
+  if applied then begin
+    t.applied <- (Engine.now (Cluster.engine c), fault) :: t.applied;
+    instant t fault;
+    if disruptive fault then Option.iter Monitor.note_fault t.monitor
+  end
+  else begin
+    t.skipped <- t.skipped + 1;
+    Metrics.Counter.incr cnt.c_skipped
+  end;
+  t.fired <- t.fired + 1
+
+let attach ?monitor cluster schedule =
+  let counters =
+    if Schedule.is_empty schedule then None
+    else begin
+      let m = Hub.metrics (Cluster.telemetry cluster) in
+      Some
+        {
+          c_crashes = Metrics.Counter.v m "chaos.crashes";
+          c_restarts = Metrics.Counter.v m "chaos.restarts";
+          c_partitions = Metrics.Counter.v m "chaos.partitions";
+          c_heals = Metrics.Counter.v m "chaos.heals";
+          c_spikes = Metrics.Counter.v m "chaos.spikes";
+          c_slow = Metrics.Counter.v m "chaos.slow";
+          c_skipped = Metrics.Counter.v m "chaos.skipped";
+        }
+    end
+  in
+  let t =
+    { cluster; schedule; monitor; counters; applied = []; fired = 0; skipped = 0 }
+  in
+  (match counters with
+  | None -> ()
+  | Some cnt ->
+    let engine = Cluster.engine cluster in
+    List.iter
+      (fun (s : Schedule.step) ->
+        ignore
+          (Engine.schedule_at engine ~time:s.at_us (fun () -> apply t cnt s.fault)))
+      (Schedule.steps schedule));
+  t
+
+let schedule t = t.schedule
+let applied t = List.rev t.applied
+let skipped t = t.skipped
+let done_ t = t.fired = Schedule.length t.schedule

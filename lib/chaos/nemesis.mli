@@ -1,0 +1,38 @@
+(** The executor: turns a {!Schedule.t} into cluster events.
+
+    [attach] schedules every step of the plan on the cluster's engine;
+    when the virtual clock reaches a step, the nemesis applies it through
+    the public fault surface — {!Zeus_core.Cluster.kill} / [rejoin] for
+    crashes, {!Zeus_net.Fabric.partition} / [partition_oneway] / [heal*]
+    for network cuts, and the perturbation knobs ([set_perturb],
+    [set_slow]) for spikes and gray nodes.  Each applied fault bumps a
+    [chaos.*] counter, emits a zero-length ["chaos"] trace instant, and is
+    recorded in {!applied} — so two runs of the same seed can be compared
+    timeline-for-timeline.
+
+    Guards keep stale steps harmless: a [Crash] of an already-dead node
+    and a [Restart] of a live one are skipped (and counted under
+    [chaos.skipped]).
+
+    Attaching {!Schedule.empty} is free: no counters are registered and no
+    events are scheduled, so a run with an empty nemesis is
+    telemetry-identical to a run with no nemesis at all. *)
+
+type t
+
+val attach : ?monitor:Monitor.t -> Zeus_core.Cluster.t -> Schedule.t -> t
+(** Schedule the plan from the current virtual time ([at_us] values are
+    absolute).  [monitor] receives {!Monitor.note_fault} at every applied
+    disruptive step (heals do not reset the grace window on their own). *)
+
+val schedule : t -> Schedule.t
+
+val applied : t -> (float * Schedule.fault) list
+(** Faults actually applied, in application order with their virtual
+    times — the reproducibility witness. *)
+
+val skipped : t -> int
+(** Steps dropped by a guard (e.g. crash of a dead node). *)
+
+val done_ : t -> bool
+(** Every step has fired (applied or skipped). *)

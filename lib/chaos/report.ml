@@ -1,0 +1,104 @@
+type scenario = {
+  name : string;
+  fault_at_us : float;
+  restart_at_us : float option;
+  baseline_mtps : float;
+  dip_mtps : float;
+  recovery_us : float option;
+  committed : int;
+  aborted : int;
+  monitors_ok : bool;
+  violations : string list;
+  timeline : (float * float) list;
+}
+
+type t = { quick : bool; seed : int64; scenarios : scenario list }
+
+let mean = function
+  | [] -> Float.nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let of_monitor ~name ~fault_at_us ?restart_at_us ~committed ~aborted monitor =
+  let cfg = Monitor.config monitor in
+  let tl = Monitor.goodput monitor in
+  let pre =
+    List.filter (fun (at, _) -> at +. cfg.Monitor.window_us <= fault_at_us) tl
+  in
+  let pre =
+    List.filteri (fun i _ -> i >= List.length pre - cfg.Monitor.baseline_windows) pre
+  in
+  let baseline_mtps = mean (List.map snd pre) in
+  let recovery_us = Monitor.recovery_us monitor ~fault_at_us in
+  (* Worst window inside the outage: from the fault until recovery (or the
+     end of the timeline when goodput never came back). *)
+  let outage_end =
+    match recovery_us with Some r -> fault_at_us +. r | None -> Float.infinity
+  in
+  let dip =
+    List.filter_map
+      (fun (at, g) -> if at >= fault_at_us && at < outage_end then Some g else None)
+      tl
+  in
+  let dip_mtps = match dip with [] -> baseline_mtps | _ -> List.fold_left Float.min Float.infinity dip in
+  let monitors_ok = Result.is_ok (Monitor.check_final monitor) in
+  let violations =
+    match Monitor.check_final monitor with
+    | Ok () -> []
+    | Error e -> [ e ]
+  in
+  {
+    name;
+    fault_at_us;
+    restart_at_us;
+    baseline_mtps;
+    dip_mtps;
+    recovery_us;
+    committed;
+    aborted;
+    monitors_ok;
+    violations;
+    timeline = tl;
+  }
+
+(* ---------- JSON ----------------------------------------------------------- *)
+
+let num x = if Float.is_finite x then Printf.sprintf "%.6f" x else "null"
+let opt_num = function Some x -> num x | None -> "null"
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let scenario_to_json s =
+  let timeline =
+    String.concat ", "
+      (List.map (fun (at, g) -> Printf.sprintf "[%s, %s]" (num at) (num g)) s.timeline)
+  in
+  let violations =
+    String.concat ", " (List.map (fun v -> Printf.sprintf "\"%s\"" (escape v)) s.violations)
+  in
+  Printf.sprintf
+    "{\"name\": \"%s\", \"fault_at_us\": %s, \"restart_at_us\": %s, \
+     \"baseline_mtps\": %s, \"dip_mtps\": %s, \"recovery_us\": %s, \
+     \"committed\": %d, \"aborted\": %d, \"monitors_ok\": %b, \
+     \"violations\": [%s], \"timeline\": [%s]}"
+    (escape s.name) (num s.fault_at_us) (opt_num s.restart_at_us)
+    (num s.baseline_mtps) (num s.dip_mtps) (opt_num s.recovery_us) s.committed
+    s.aborted s.monitors_ok violations timeline
+
+let to_json t =
+  Printf.sprintf "{\"quick\": %b,\n \"seed\": %Ld,\n \"scenarios\": [\n  %s\n ]}\n"
+    t.quick t.seed
+    (String.concat ",\n  " (List.map scenario_to_json t.scenarios))
+
+let write ~path t =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc

@@ -1,0 +1,43 @@
+(** Machine-readable chaos results ([BENCH_faults.json]).
+
+    One {!scenario} per injected fault of the [faults] experiment:
+    identity (name, fault/restart instants), throughput (pre-fault
+    baseline, worst post-fault window, the full goodput timeline), the
+    recovery time extracted by {!Monitor.recovery_us}, commit/abort
+    totals, and the monitor verdict.  [to_json] hand-rolls the JSON the
+    same way as the other bench emitters — no JSON library in tree. *)
+
+type scenario = {
+  name : string;
+  fault_at_us : float;
+  restart_at_us : float option;
+  baseline_mtps : float;     (** mean goodput over the pre-fault windows *)
+  dip_mtps : float;          (** worst window between fault and recovery *)
+  recovery_us : float option;
+  committed : int;
+  aborted : int;
+  monitors_ok : bool;
+  violations : string list;
+  timeline : (float * float) list;  (** [(window_start_us, mtps)] *)
+}
+
+type t = {
+  quick : bool;
+  seed : int64;
+  scenarios : scenario list;
+}
+
+val of_monitor :
+  name:string ->
+  fault_at_us:float ->
+  ?restart_at_us:float ->
+  committed:int ->
+  aborted:int ->
+  Monitor.t ->
+  scenario
+(** Derive a scenario from a stopped monitor: baseline, dip, recovery and
+    verdict all come from the monitor's timeline and final check. *)
+
+val scenario_to_json : scenario -> string
+val to_json : t -> string
+val write : path:string -> t -> unit

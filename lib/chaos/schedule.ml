@@ -1,0 +1,124 @@
+module Rng = Zeus_sim.Rng
+
+type fault =
+  | Crash of int
+  | Restart of int
+  | Partition of int * int
+  | Partition_oneway of { src : int; dst : int }
+  | Heal of int * int
+  | Heal_oneway of { src : int; dst : int }
+  | Heal_all
+  | Spike of { loss : float; dup : float; delay_us : float }
+  | Spike_end
+  | Slow of { node : int; factor : float }
+  | Slow_end of int
+
+type step = { at_us : float; fault : fault }
+type t = { name : string; seed : int64; steps : step list }
+
+let v ~name ?(seed = 0L) steps =
+  { name; seed; steps = List.stable_sort (fun a b -> compare a.at_us b.at_us) steps }
+
+let empty = { name = "empty"; seed = 0L; steps = [] }
+let is_empty t = t.steps = []
+let steps t = t.steps
+let length t = List.length t.steps
+
+let equal a b =
+  a.name = b.name && Int64.equal a.seed b.seed
+  && List.length a.steps = List.length b.steps
+  && List.for_all2 (fun x y -> x.at_us = y.at_us && x.fault = y.fault) a.steps b.steps
+
+(* ---------- incident windows ---------------------------------------------- *)
+
+let crash_restart ~node ~at_us ~down_us =
+  [ { at_us; fault = Crash node }; { at_us = at_us +. down_us; fault = Restart node } ]
+
+let partition_window ~a ~b ~at_us ~duration_us =
+  [ { at_us; fault = Partition (a, b) }; { at_us = at_us +. duration_us; fault = Heal (a, b) } ]
+
+let oneway_window ~src ~dst ~at_us ~duration_us =
+  [
+    { at_us; fault = Partition_oneway { src; dst } };
+    { at_us = at_us +. duration_us; fault = Heal_oneway { src; dst } };
+  ]
+
+let spike_window ~at_us ~duration_us ?(loss = 0.05) ?(dup = 0.05) ?(delay_us = 20.0) () =
+  [
+    { at_us; fault = Spike { loss; dup; delay_us } };
+    { at_us = at_us +. duration_us; fault = Spike_end };
+  ]
+
+let slow_window ~node ~factor ~at_us ~duration_us =
+  [
+    { at_us; fault = Slow { node; factor } };
+    { at_us = at_us +. duration_us; fault = Slow_end node };
+  ]
+
+(* ---------- stochastic plans ----------------------------------------------- *)
+
+let random ~seed ~nodes ~start_us ~duration_us ?(faults = 3) () =
+  let rng = Rng.create seed in
+  let stop = start_us +. duration_us in
+  (* At most one node down at a time: a second crash before the first
+     restart would be a majority loss on small clusters and turns the
+     property tests into availability tests. *)
+  let crash_free_at = ref start_us in
+  let steps = ref [] in
+  let add s = steps := s @ !steps in
+  for _ = 1 to faults do
+    let at = start_us +. Rng.float rng (duration_us *. 0.6) in
+    let len =
+      Float.min
+        (duration_us *. 0.1 +. Rng.float rng (duration_us *. 0.3))
+        (stop -. at -. (duration_us *. 0.05))
+    in
+    if len > 0.0 then begin
+      let a = Rng.int rng nodes in
+      let b = (a + 1 + Rng.int rng (max 1 (nodes - 1))) mod nodes in
+      match Rng.int rng 5 with
+      | 0 when at >= !crash_free_at ->
+        crash_free_at := at +. len;
+        add (crash_restart ~node:a ~at_us:at ~down_us:len)
+      | 0 | 1 ->
+        if a <> b then add (partition_window ~a ~b ~at_us:at ~duration_us:len)
+      | 2 ->
+        if a <> b then add (oneway_window ~src:a ~dst:b ~at_us:at ~duration_us:len)
+      | 3 ->
+        add
+          (spike_window ~at_us:at ~duration_us:len ~loss:(Rng.float rng 0.1)
+             ~dup:(Rng.float rng 0.1) ~delay_us:(Rng.float rng 30.0) ())
+      | _ ->
+        add
+          (slow_window ~node:a
+             ~factor:(2.0 +. Rng.float rng 8.0)
+             ~at_us:at ~duration_us:len)
+    end
+  done;
+  (* Whatever happened, end in a healed, fully-populated cluster. *)
+  add [ { at_us = stop; fault = Heal_all }; { at_us = stop; fault = Spike_end } ];
+  v ~name:(Printf.sprintf "random-%Ld" seed) ~seed !steps
+
+(* ---------- printing ------------------------------------------------------- *)
+
+let fault_to_string = function
+  | Crash n -> Printf.sprintf "crash(%d)" n
+  | Restart n -> Printf.sprintf "restart(%d)" n
+  | Partition (a, b) -> Printf.sprintf "partition(%d,%d)" a b
+  | Partition_oneway { src; dst } -> Printf.sprintf "partition_oneway(%d->%d)" src dst
+  | Heal (a, b) -> Printf.sprintf "heal(%d,%d)" a b
+  | Heal_oneway { src; dst } -> Printf.sprintf "heal_oneway(%d->%d)" src dst
+  | Heal_all -> "heal_all"
+  | Spike { loss; dup; delay_us } ->
+    Printf.sprintf "spike(loss=%.3f,dup=%.3f,delay=%.1fus)" loss dup delay_us
+  | Spike_end -> "spike_end"
+  | Slow { node; factor } -> Printf.sprintf "slow(%d,x%.1f)" node factor
+  | Slow_end n -> Printf.sprintf "slow_end(%d)" n
+
+let pp ppf t =
+  Format.fprintf ppf "schedule %S (seed %Ld, %d steps)" t.name t.seed (List.length t.steps);
+  List.iter
+    (fun s -> Format.fprintf ppf "@.  @[%10.1f us  %s@]" s.at_us (fault_to_string s.fault))
+    t.steps
+
+let to_string t = Format.asprintf "%a" pp t

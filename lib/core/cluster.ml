@@ -83,10 +83,10 @@ let total_ro_committed t =
 
 (* ---------- invariants (§8) ---------------------------------------------- *)
 
-let err fmt = Format.kasprintf (fun s -> Error s) fmt
-
 let live_nodes t =
   List.filter (fun i -> Fabric.is_alive t.fabric i) (List.init (nodes t) (fun i -> i))
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
 
 let all_keys t =
   let keys = Hashtbl.create 1024 in

@@ -36,6 +36,10 @@ val populate : t -> key:Types.key -> owner:int -> Value.t -> unit
 val populate_n : t -> n:int -> ?base:int -> owner_of:(int -> int) -> (int -> Value.t) -> unit
 (** [populate_n ~n ~owner_of value_of] installs keys [base..base+n-1]. *)
 
+val live_nodes : t -> int list
+(** Nodes currently alive at the fabric level (crash-stop state, not the
+    membership view — the two disagree during the detection window). *)
+
 val kill : t -> int -> unit
 (** Crash a node; membership reconfigures after detection + lease expiry. *)
 

@@ -14,6 +14,7 @@ let all : (string * string * (quick:bool -> unit)) list =
     ("tpcc", "executed TPC-C (extension beyond the paper)", Tpcc_fig.run);
     ("ablations", "pipeline depth, replication degree, read-only, object size", Ablations.run);
     ("transport", "batched vs unbatched reliable transport (messages/bytes/events per txn)", Transport_ab.run);
+    ("faults", "Smallbank under follower/owner/directory crashes: dip + recovery time", Faults.run);
   ]
 
 let names () = List.map (fun (id, _, _) -> id) all

@@ -30,6 +30,18 @@ let create ?(lease_us = 2_000.0) ?(detect_us = 1_000.0) ?(skew_us = 5.0) transpo
 let view t = t.view
 let node_view t n = t.node_views.(n)
 let epoch_at t n = t.node_views.(n).View.epoch
+let is_live t n = View.is_live t.view n
+
+let stable t =
+  (* Every node the service believes live holds the current epoch: no view
+     install is in flight (skew window) and no kill/rejoin is pending. *)
+  let ok = ref true in
+  Array.iteri
+    (fun n v ->
+      if View.is_live t.view n && v.View.epoch <> t.view.View.epoch then ok := false)
+    t.node_views;
+  !ok
+
 let subscribe t n fn = t.subscribers.(n) <- t.subscribers.(n) @ [ fn ]
 
 let engine t = Zeus_net.Fabric.engine (Zeus_net.Transport.fabric t.transport)

@@ -23,6 +23,15 @@ val node_view : t -> Zeus_net.Msg.node_id -> View.t
 
 val epoch_at : t -> Zeus_net.Msg.node_id -> int
 
+val is_live : t -> Zeus_net.Msg.node_id -> bool
+(** Whether the service's latest view includes the node. *)
+
+val stable : t -> bool
+(** No reconfiguration in flight: every node the current view calls live
+    has installed that view.  Online invariant monitors sample only in
+    stable windows — mid-reconfiguration states are the protocols' problem,
+    not a monitor false positive. *)
+
 val subscribe : t -> Zeus_net.Msg.node_id -> (View.t -> unit) -> unit
 (** Called (in subscription order) each time the node installs a new view. *)
 

@@ -22,6 +22,8 @@ let default_config =
     reorder_delay_us = 10.0;
   }
 
+type perturb = { p_loss : float; p_dup : float; p_delay_us : float }
+
 type t = {
   engine : Engine.t;
   nodes : int;
@@ -30,6 +32,9 @@ type t = {
   handlers : (src:Msg.node_id -> Msg.payload -> unit) option array;
   alive : bool array;
   partitions : (int * int, unit) Hashtbl.t;
+  oneway : (int * int, unit) Hashtbl.t;  (* directed src->dst drops *)
+  mutable perturb : perturb option;
+  slow : float array;  (* per-node latency multiplier ("gray" degradation) *)
   mutable messages_sent : int;
   mutable bytes_sent : int;
   mutable messages_dropped : int;
@@ -45,6 +50,9 @@ let create engine ~nodes config =
     handlers = Array.make nodes None;
     alive = Array.make nodes true;
     partitions = Hashtbl.create 8;
+    oneway = Hashtbl.create 8;
+    perturb = None;
+    slow = Array.make nodes 1.0;
     messages_sent = 0;
     bytes_sent = 0;
     messages_dropped = 0;
@@ -62,8 +70,21 @@ let recover t node = t.alive.(node) <- true
 let pair a b = if a < b then (a, b) else (b, a)
 let partition t a b = Hashtbl.replace t.partitions (pair a b) ()
 let heal t a b = Hashtbl.remove t.partitions (pair a b)
-let heal_all t = Hashtbl.reset t.partitions
+
+let partition_oneway t ~src ~dst = Hashtbl.replace t.oneway (src, dst) ()
+let heal_oneway t ~src ~dst = Hashtbl.remove t.oneway (src, dst)
+
+let heal_all t =
+  Hashtbl.reset t.partitions;
+  Hashtbl.reset t.oneway
+
 let partitioned t a b = Hashtbl.mem t.partitions (pair a b)
+let blocked t ~src ~dst = partitioned t src dst || Hashtbl.mem t.oneway (src, dst)
+
+let set_perturb t p = t.perturb <- p
+let perturb t = t.perturb
+let set_slow t node factor = t.slow.(node) <- Float.max factor 1.0
+let slow_factor t node = t.slow.(node)
 
 let messages_sent t = t.messages_sent
 let bytes_sent t = t.bytes_sent
@@ -77,20 +98,38 @@ let reset_counters t =
 let deliver t ~src ~dst payload =
   (* Checked at arrival time: a node that crashed in flight drops the
      message, matching a NIC going dark. *)
-  if t.alive.(dst) && not (partitioned t src dst) then begin
+  if t.alive.(dst) && not (blocked t ~src ~dst) then begin
     match t.handlers.(dst) with
     | Some fn -> fn ~src payload
     | None -> ()
   end
   else t.messages_dropped <- t.messages_dropped + 1
 
-let latency t ~size =
+let latency t ~src ~dst ~size =
   let c = t.config in
   let serialize =
     (* bytes -> µs at [bandwidth] Gbps: size * 8 bits / (gbps * 1000 bits/µs) *)
     float_of_int size *. 8.0 /. (c.bandwidth_gbps *. 1000.0)
   in
-  c.base_latency_us +. serialize +. Rng.float t.rng c.jitter_us
+  (* A slow ("gray") endpoint stretches every message it touches; the
+     spike's extra delay is a link-level add-on. *)
+  let gray = Float.max t.slow.(src) t.slow.(dst) in
+  let spike = match t.perturb with Some p -> p.p_delay_us | None -> 0.0 in
+  ((c.base_latency_us +. serialize) *. gray)
+  +. spike
+  +. Rng.float t.rng c.jitter_us
+
+(* Effective fault probabilities: static config plus the active spike.  The
+   rng draw count is independent of whether a spike is active, so arming a
+   chaos schedule never perturbs the random sequence of an otherwise
+   identical run before the first fault fires. *)
+let eff_loss t = match t.perturb with
+  | Some p -> Float.min 1.0 (t.config.loss_prob +. p.p_loss)
+  | None -> t.config.loss_prob
+
+let eff_dup t = match t.perturb with
+  | Some p -> Float.min 1.0 (t.config.dup_prob +. p.p_dup)
+  | None -> t.config.dup_prob
 
 let send t ~src ~dst ?(size = 64) payload =
   t.messages_sent <- t.messages_sent + 1;
@@ -100,17 +139,17 @@ let send t ~src ~dst ?(size = 64) payload =
     ignore (Engine.schedule t.engine ~after:0.05 (fun () -> deliver t ~src ~dst payload))
   else begin
     let c = t.config in
-    if Rng.chance t.rng c.loss_prob then t.messages_dropped <- t.messages_dropped + 1
+    if Rng.chance t.rng (eff_loss t) then t.messages_dropped <- t.messages_dropped + 1
     else begin
-      let base = latency t ~size in
+      let base = latency t ~src ~dst ~size in
       let extra =
         if Rng.chance t.rng c.reorder_prob then Rng.float t.rng c.reorder_delay_us
         else 0.0
       in
       let arrival = base +. extra in
       ignore (Engine.schedule t.engine ~after:arrival (fun () -> deliver t ~src ~dst payload));
-      if Rng.chance t.rng c.dup_prob then begin
-        let dup_arrival = latency t ~size +. Rng.float t.rng c.reorder_delay_us in
+      if Rng.chance t.rng (eff_dup t) then begin
+        let dup_arrival = latency t ~src ~dst ~size +. Rng.float t.rng c.reorder_delay_us in
         ignore
           (Engine.schedule t.engine ~after:dup_arrival (fun () ->
                deliver t ~src ~dst payload))

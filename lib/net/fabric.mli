@@ -47,7 +47,40 @@ val partition : t -> Msg.node_id -> Msg.node_id -> unit
 (** Symmetric partition between two nodes. *)
 
 val heal : t -> Msg.node_id -> Msg.node_id -> unit
+
+val partition_oneway : t -> src:Msg.node_id -> dst:Msg.node_id -> unit
+(** One-sided partition: messages [src]->[dst] are dropped while the
+    reverse direction keeps flowing (asymmetric link failure — the chaos
+    schedules' nastiest primitive, since acks die while data survives). *)
+
+val heal_oneway : t -> src:Msg.node_id -> dst:Msg.node_id -> unit
+
 val heal_all : t -> unit
+(** Removes every symmetric and one-sided partition. *)
+
+(** {2 Runtime perturbation (chaos injection)}
+
+    Unlike {!config} fault injection — fixed for the fabric's lifetime —
+    these knobs are flipped mid-run by a nemesis: a link-quality spike
+    adds loss/duplication probability and a flat delay to every message
+    while armed, and a slow ("gray") node multiplies the latency of every
+    message it sends or receives without failing outright.  When disabled
+    they change neither behaviour nor the rng draw sequence. *)
+
+type perturb = {
+  p_loss : float;      (** added to [loss_prob] while armed *)
+  p_dup : float;       (** added to [dup_prob] while armed *)
+  p_delay_us : float;  (** flat extra one-way delay while armed *)
+}
+
+val set_perturb : t -> perturb option -> unit
+val perturb : t -> perturb option
+
+val set_slow : t -> Msg.node_id -> float -> unit
+(** Latency multiplier for every message to or from the node (clamped to
+    [>= 1.0]); [1.0] restores full speed. *)
+
+val slow_factor : t -> Msg.node_id -> float
 
 (** Traffic accounting (for the paper's bandwidth comparisons). *)
 

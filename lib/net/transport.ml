@@ -5,6 +5,8 @@ module Hub = Zeus_telemetry.Hub
 
 type config = {
   rto_us : float;
+  rto_backoff : float;
+  rto_max_us : float;
   max_retries : int;
   dedup : bool;
   batching : bool;
@@ -17,6 +19,8 @@ type config = {
 let default_config =
   {
     rto_us = 40.0;
+    rto_backoff = 2.0;
+    rto_max_us = 2_000.0;
     max_retries = 50;
     dedup = true;
     batching = true;
@@ -27,6 +31,23 @@ let default_config =
   }
 
 let unbatched config = { config with batching = false }
+
+(* Retransmission timeout after [retries] consecutive retransmissions with
+   no window progress: capped exponential backoff, so a partitioned or dead
+   peer is probed at a collapsing rate instead of hammered at 1/rto forever.
+   The jitter is a pure avalanche hash of the flow identity and retry count
+   — deterministic (same seed, same timers) yet de-synchronizing peer flows
+   that backed off at the same instant. *)
+let backoff_jitter ~src ~dst ~retries =
+  let h =
+    (src * 0x9e3779b1) lxor (dst * 0x85ebca6b) lxor ((retries + 1) * 0xc2b2ae35)
+  in
+  float_of_int (h land 0xffff) /. 65536.0
+
+let rto_after config ~src ~dst ~retries =
+  let raw = config.rto_us *. (config.rto_backoff ** float_of_int retries) in
+  let capped = Float.min raw config.rto_max_us in
+  capped *. (1.0 +. (0.1 *. backoff_jitter ~src ~dst ~retries))
 
 (* Wire framing.  A [Batch] replaces N [Data]+[Ack] pairs: its size is the
    sum of its payloads plus one header, and it piggybacks the cumulative
@@ -103,6 +124,7 @@ type t = {
   (* Typed metric handles (registered once in [create]; a typo here is a
      compile error, and the hot path touches a resolved ref directly). *)
   c_retransmissions : Metrics.Counter.h;
+  c_backoff : Metrics.Counter.h;
   c_frames : Metrics.Counter.h;
   c_payloads : Metrics.Counter.h;
   c_acks_piggybacked : Metrics.Counter.h;
@@ -147,6 +169,10 @@ let fresh_flow ~src ~dst =
 let fabric t = t.fabric
 let engine t = Fabric.engine t.fabric
 let retransmissions t = Metrics.Counter.get t.c_retransmissions
+let backoffs t = Metrics.Counter.get t.c_backoff
+
+let flow_rto t fl ~retries =
+  rto_after t.config ~src:fl.f_src ~dst:fl.f_dst ~retries
 
 let stats t =
   {
@@ -309,7 +335,7 @@ let rec on_rto t fl =
   fl.rto_ev <- None;
   if Hashtbl.length fl.buffer > 0 then begin
     let now = Engine.now (engine t) in
-    let deadline = fl.rto_progress_at +. t.config.rto_us in
+    let deadline = fl.rto_progress_at +. flow_rto t fl ~retries:fl.tx_retries in
     if deadline > now +. 1e-9 then
       (* The window advanced since this timer was armed: push the timer out
          to the oldest-unacked deadline instead of retransmitting. *)
@@ -327,11 +353,15 @@ let rec on_rto t fl =
       fl.tx_retries <- fl.tx_retries + 1;
       let lo = fl.acked_upto + 1 and hi = fl.next_seq - 1 in
       Metrics.Counter.incr ~by:(hi - lo + 1) t.c_retransmissions;
+      Metrics.Counter.incr t.c_backoff;
       send_window ~retx:true t fl ~lo ~hi;
       fl.flushed_upto <- hi;
       fl.rto_progress_at <- now;
       fl.rto_ev <-
-        Some (Engine.schedule (engine t) ~after:t.config.rto_us (fun () -> on_rto t fl))
+        Some
+          (Engine.schedule (engine t)
+             ~after:(flow_rto t fl ~retries:fl.tx_retries)
+             (fun () -> on_rto t fl))
     end
   end
 
@@ -343,7 +373,10 @@ let flush_flow t fl =
     if fl.rto_ev = None then begin
       fl.rto_progress_at <- Engine.now (engine t);
       fl.rto_ev <-
-        Some (Engine.schedule (engine t) ~after:t.config.rto_us (fun () -> on_rto t fl))
+        Some
+          (Engine.schedule (engine t)
+             ~after:(flow_rto t fl ~retries:fl.tx_retries)
+             (fun () -> on_rto t fl))
     end
   end
 
@@ -461,7 +494,9 @@ let handle_batch t fl ~inc ~first_seq ~items =
 let rec arm_retransmit t fl seq p =
   p.p_timer <-
     Some
-      (Engine.schedule (engine t) ~after:t.config.rto_us (fun () ->
+      (Engine.schedule (engine t)
+         ~after:(flow_rto t fl ~retries:p.p_retries)
+         (fun () ->
            p.p_timer <- None;
            if Hashtbl.mem fl.inflight seq then begin
              if
@@ -471,6 +506,7 @@ let rec arm_retransmit t fl seq p =
              then begin
                p.p_retries <- p.p_retries + 1;
                Metrics.Counter.incr t.c_retransmissions;
+               Metrics.Counter.incr t.c_backoff;
                Fabric.send t.fabric ~src:fl.f_src ~dst:fl.f_dst ~size:p.p_size
                  (Data { seq; inc = fl.tx_inc; inner = p.p_payload; size = p.p_size });
                arm_retransmit t fl seq p
@@ -551,6 +587,7 @@ let create ?(config = default_config) ?telemetry fabric =
       dirty = Array.init n (fun _ -> ref []);
       node_flush_ev = Array.make n None;
       c_retransmissions = Metrics.Counter.v m "transport.retransmissions";
+      c_backoff = Metrics.Counter.v m "transport.backoff";
       c_frames = Metrics.Counter.v m "transport.frames";
       c_payloads = Metrics.Counter.v m "transport.payloads";
       c_acks_piggybacked = Metrics.Counter.v m "transport.acks_piggybacked";

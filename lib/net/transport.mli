@@ -30,7 +30,13 @@
     old incarnation are ignored. *)
 
 type config = {
-  rto_us : float;  (** retransmission timeout *)
+  rto_us : float;  (** base retransmission timeout *)
+  rto_backoff : float;
+      (** multiplier applied per consecutive retransmission without window
+          progress (capped exponential backoff with deterministic jitter);
+          progress resets the timeout to [rto_us].  [1.0] restores the
+          historical fixed-rate behaviour *)
+  rto_max_us : float;  (** backoff ceiling *)
   max_retries : int;
       (** give up after this many retransmissions (a crashed peer is the
           membership service's problem) *)
@@ -95,6 +101,17 @@ val recover : t -> Msg.node_id -> unit
 
 val retransmissions : t -> int
 (** Total retransmitted payloads (observability for tests/benches). *)
+
+val backoffs : t -> int
+(** Retransmission bursts fired (each re-armed with a backed-off timeout);
+    mirrors the [transport.backoff] counter. *)
+
+val rto_after : config -> src:Msg.node_id -> dst:Msg.node_id -> retries:int -> float
+(** The timeout armed after [retries] consecutive retransmissions without
+    window progress: [rto_us * rto_backoff^retries], capped at
+    [rto_max_us], plus up to 10 % of deterministic per-flow jitter (a pure
+    hash of [src], [dst], [retries] — no RNG draw, so arming a timer never
+    perturbs the simulation's random streams).  Exposed for tests. *)
 
 type stats = {
   frames : int;  (** data frames handed to the fabric *)

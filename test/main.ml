@@ -24,4 +24,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("properties", Test_properties.suite);
       ("transport-props", Test_transport_props.suite);
+      ("chaos", Test_chaos.suite);
     ]

@@ -1,0 +1,247 @@
+(* Tests for the chaos engine: schedules, nemesis execution, online
+   monitors, and the safety property under randomized fault plans. *)
+
+module Engine = Zeus_sim.Engine
+module Cluster = Zeus_core.Cluster
+module Config = Zeus_core.Config
+module Node = Zeus_core.Node
+module History = Zeus_core.History
+module Value = Zeus_store.Value
+module Hub = Zeus_telemetry.Hub
+module Metrics = Zeus_telemetry.Metrics
+module Chaos = Zeus_chaos
+module Schedule = Zeus_chaos.Schedule
+module Nemesis = Zeus_chaos.Nemesis
+module Monitor = Zeus_chaos.Monitor
+module W = Zeus_workload
+
+let tc = Helpers.tc
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- schedules (pure data) ---------- *)
+
+let schedule_sorted_and_seeded () =
+  let s =
+    Schedule.v ~name:"x"
+      [
+        { Schedule.at_us = 300.0; fault = Schedule.Crash 1 };
+        { Schedule.at_us = 100.0; fault = Schedule.Heal_all };
+        { Schedule.at_us = 200.0; fault = Schedule.Restart 1 };
+      ]
+  in
+  check Alcotest.(list (float 0.0)) "sorted by time" [ 100.0; 200.0; 300.0 ]
+    (List.map (fun (st : Schedule.step) -> st.Schedule.at_us) (Schedule.steps s));
+  let a = Schedule.random ~seed:5L ~nodes:3 ~start_us:100.0 ~duration_us:4_000.0 () in
+  let b = Schedule.random ~seed:5L ~nodes:3 ~start_us:100.0 ~duration_us:4_000.0 () in
+  check Alcotest.bool "same seed, same plan" true (Schedule.equal a b);
+  let c = Schedule.random ~seed:6L ~nodes:3 ~start_us:100.0 ~duration_us:4_000.0 () in
+  check Alcotest.bool "different seed, different plan" false (Schedule.equal a c);
+  (* every random plan ends in a healed cluster *)
+  let has_heal_all =
+    List.exists (fun (st : Schedule.step) -> st.Schedule.fault = Schedule.Heal_all)
+      (Schedule.steps a)
+  in
+  check Alcotest.bool "closes with heal_all" true has_heal_all;
+  check Alcotest.bool "printable" true (String.length (Schedule.to_string a) > 0)
+
+(* ---------- recovery extraction (pure) ---------- *)
+
+let recovery_extraction () =
+  let w = 100.0 in
+  let tl at v = (at, v) in
+  (* flat 10/window, outage in [500,700), back at 10 from 700 *)
+  let timeline =
+    [
+      tl 0.0 10; tl 100.0 10; tl 200.0 10; tl 300.0 10; tl 400.0 10;
+      tl 500.0 0; tl 600.0 2; tl 700.0 10; tl 800.0 10; tl 900.0 10;
+    ]
+  in
+  let r =
+    Monitor.recovery_of_timeline ~window_us:w ~frac:0.9 ~baseline_windows:4
+      ~fault_at_us:500.0 timeline
+  in
+  (match r with
+  | Some x -> check (Alcotest.float 0.001) "recovers at the 700 window" 300.0 x
+  | None -> Alcotest.fail "expected recovery");
+  (* a single good window is not recovery (needs two consecutive) *)
+  let bumpy =
+    [
+      tl 0.0 10; tl 100.0 10; tl 200.0 10; tl 300.0 10; tl 400.0 10;
+      tl 500.0 0; tl 600.0 10; tl 700.0 2; tl 800.0 2; tl 900.0 2;
+    ]
+  in
+  check Alcotest.bool "one good window is a retry burst, not recovery" true
+    (Monitor.recovery_of_timeline ~window_us:w ~frac:0.9 ~baseline_windows:4
+       ~fault_at_us:500.0 bumpy
+    = None);
+  (* no pre-fault baseline -> no recovery claim *)
+  check Alcotest.bool "needs a baseline" true
+    (Monitor.recovery_of_timeline ~window_us:w ~frac:0.9 ~baseline_windows:4
+       ~fault_at_us:0.0 [ tl 0.0 5 ]
+    = None)
+
+(* ---------- nemesis execution ---------- *)
+
+let chaos_cluster ?(nodes = 3) ?(seed = 42L) ?(record_history = false) () =
+  let config = { Config.default with Config.nodes; seed; record_history } in
+  let c = Cluster.create ~config () in
+  for k = 0 to 11 do
+    Cluster.populate c ~key:k ~owner:(k mod nodes) (Value.of_int 0)
+  done;
+  c
+
+let drive c ~txns_per_thread =
+  let n = Cluster.nodes c in
+  let engine = Cluster.engine c in
+  let rng = Engine.fork_rng engine in
+  for home = 0 to n - 1 do
+    for thread = 0 to 1 do
+      let node = Cluster.node c home in
+      let rec loop i =
+        if i < txns_per_thread && Node.is_alive node then begin
+          let key () = Zeus_sim.Rng.int rng 12 in
+          let spec =
+            if Zeus_sim.Rng.chance rng 0.3 then W.Spec.read_txn [ key () ]
+            else W.Spec.write_txn [ key () ]
+          in
+          W.Spec.run_on_zeus node ~thread spec (fun _ -> loop (i + 1))
+        end
+      in
+      ignore
+        (Engine.schedule engine
+           ~after:(0.1 *. float_of_int ((home * 2) + thread))
+           (fun () -> loop 0))
+    done
+  done
+
+let nemesis_applies_and_guards () =
+  let c = chaos_cluster () in
+  let s =
+    Schedule.v ~name:"guards"
+      [
+        { Schedule.at_us = 100.0; fault = Schedule.Crash 2 };
+        (* crash of an already-dead node must be skipped, not applied *)
+        { Schedule.at_us = 200.0; fault = Schedule.Crash 2 };
+        { Schedule.at_us = 300.0; fault = Schedule.Restart 2 };
+        (* restart of a live node must be skipped *)
+        { Schedule.at_us = 400.0; fault = Schedule.Restart 2 };
+      ]
+  in
+  let nem = Nemesis.attach c s in
+  Cluster.run c ~until_us:10_000.0;
+  check Alcotest.bool "all steps fired" true (Nemesis.done_ nem);
+  check Alcotest.int "two skipped" 2 (Nemesis.skipped nem);
+  check Alcotest.(list (pair (float 0.0) string)) "applied timeline"
+    [ (100.0, "crash(2)"); (300.0, "restart(2)") ]
+    (List.map (fun (at, f) -> (at, Schedule.fault_to_string f)) (Nemesis.applied nem));
+  let m = Hub.metrics (Cluster.telemetry c) in
+  check Alcotest.int "chaos.crashes" 1 (Metrics.Counter.get (Metrics.Counter.v m "chaos.crashes"));
+  check Alcotest.int "chaos.skipped" 2 (Metrics.Counter.get (Metrics.Counter.v m "chaos.skipped"))
+
+let same_seed_reproduces_timeline () =
+  let run () =
+    let c = chaos_cluster () in
+    drive c ~txns_per_thread:10;
+    let s = Schedule.random ~seed:9L ~nodes:3 ~start_us:150.0 ~duration_us:4_000.0 () in
+    let nem = Nemesis.attach c s in
+    Cluster.run_quiesce c ~max_us:3_000_000.0 ();
+    List.map (fun (at, f) -> (at, Schedule.fault_to_string f)) (Nemesis.applied nem)
+  in
+  let a = run () and b = run () in
+  check Alcotest.(list (pair (float 0.0) string)) "identical fault timeline" a b;
+  check Alcotest.bool "non-trivial" true (List.length a > 0)
+
+let empty_schedule_is_zero_overhead () =
+  (* a run with an empty nemesis must be telemetry-identical to a run with
+     no nemesis at all: no counters registered, no events scheduled *)
+  let run ~nemesis =
+    let c = chaos_cluster () in
+    drive c ~txns_per_thread:10;
+    if nemesis then begin
+      let nem = Nemesis.attach c Schedule.empty in
+      check Alcotest.bool "empty schedule completes immediately" true
+        (Nemesis.done_ nem)
+    end;
+    Cluster.run_quiesce c ~max_us:3_000_000.0 ();
+    (Cluster.total_committed c, Metrics.counters (Hub.metrics (Cluster.telemetry c)))
+  in
+  let committed0, counters0 = run ~nemesis:false in
+  let committed1, counters1 = run ~nemesis:true in
+  check Alcotest.int "same committed" committed0 committed1;
+  check
+    Alcotest.(list (pair string int))
+    "identical counter registry and values" counters0 counters1
+
+let monitor_clean_on_healthy_run () =
+  let c = chaos_cluster () in
+  drive c ~txns_per_thread:15;
+  let mon = Monitor.attach c in
+  Cluster.run c ~until_us:8_000.0;
+  Monitor.stop mon;
+  Cluster.run_quiesce c ~max_us:3_000_000.0 ();
+  check Alcotest.bool "sampled" true (Monitor.samples mon > 10);
+  check Alcotest.(list string) "no violations" [] (Monitor.violations mon);
+  (match Monitor.check_final mon with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "final check: %s" e);
+  (* goodput timeline is non-empty and non-negative *)
+  let tl = Monitor.timeline mon in
+  check Alcotest.bool "windows recorded" true (List.length tl > 10);
+  check Alcotest.bool "counts non-negative" true (List.for_all (fun (_, n) -> n >= 0) tl);
+  check Alcotest.bool "work observed" true (List.exists (fun (_, n) -> n > 0) tl)
+
+let monitor_stop_is_idempotent_and_quiesces () =
+  let c = chaos_cluster () in
+  let mon = Monitor.attach c in
+  Cluster.run c ~until_us:1_000.0;
+  Monitor.stop mon;
+  Monitor.stop mon;
+  (* with the recurring sampling events cancelled the engine must drain *)
+  Cluster.run_quiesce c ~max_us:50_000.0 ();
+  check Alcotest.int "engine drained" 0 (Engine.pending (Cluster.engine c))
+
+(* ---------- the property: random chaos preserves safety ---------- *)
+
+let prop_random_chaos_safe =
+  QCheck.Test.make ~name:"chaos: random schedules preserve safety" ~count:12
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      (* nodes = replication degree, so every node replicates every key and
+         any single crash still leaves live copies *)
+      let c = chaos_cluster ~seed:(Int64.of_int (seed + 1)) ~record_history:true () in
+      drive c ~txns_per_thread:15;
+      let mon = Monitor.attach c in
+      let s =
+        Schedule.random ~seed:(Int64.of_int seed) ~nodes:3 ~start_us:200.0
+          ~duration_us:5_000.0 ~faults:2 ()
+      in
+      let nem = Nemesis.attach ~monitor:mon c s in
+      Cluster.run c ~until_us:12_000.0;
+      Monitor.stop mon;
+      Cluster.run_quiesce c ~max_us:3_000_000.0 ();
+      if not (Nemesis.done_ nem) then QCheck.Test.fail_report "schedule did not finish";
+      (match Monitor.check_final mon with
+      | Ok () -> ()
+      | Error e ->
+        QCheck.Test.fail_report
+          (Printf.sprintf "seed %d: %s\n%s" seed e (Schedule.to_string s)));
+      (match Cluster.history c with
+      | Some h -> (
+        match History.check h with
+        | Ok () -> ()
+        | Error e -> QCheck.Test.fail_report (Printf.sprintf "seed %d: history: %s" seed e))
+      | None -> QCheck.Test.fail_report "history recording off");
+      true)
+
+let suite =
+  [
+    tc "schedule: sorted, seeded, printable" schedule_sorted_and_seeded;
+    tc "monitor: recovery extraction from timelines" recovery_extraction;
+    tc "nemesis: applies faults, guards stale steps" nemesis_applies_and_guards;
+    tc "nemesis: same seed reproduces the fault timeline" same_seed_reproduces_timeline;
+    tc "nemesis: empty schedule is zero overhead" empty_schedule_is_zero_overhead;
+    tc "monitor: clean on a healthy run" monitor_clean_on_healthy_run;
+    tc "monitor: stop is idempotent and lets the engine drain" monitor_stop_is_idempotent_and_quiesces;
+    qtest prop_random_chaos_safe;
+  ]

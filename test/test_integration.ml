@@ -13,6 +13,16 @@ module W = Zeus_workload
 let tc = Helpers.tc
 let check = Alcotest.check
 
+(* Fault injection goes through a declarative chaos schedule (printable and
+   replayable), not hand-rolled engine callbacks. *)
+let crash_at c ~at_us node =
+  let module S = Zeus_chaos.Schedule in
+  ignore
+    (Zeus_chaos.Nemesis.attach c
+       (S.v
+          ~name:(Printf.sprintf "crash-n%d" node)
+          [ { S.at_us; fault = S.Crash node } ]))
+
 let mixed_workload_setup ?(nodes = 3) ?(keys = 40) ?fabric ?(seed = 42L) () =
   let c = Helpers.default_cluster ~nodes ?fabric ~seed () in
   for k = 0 to keys - 1 do
@@ -84,7 +94,7 @@ let lossy_network () =
 let crash_during_load () =
   let c = mixed_workload_setup ~keys:30 () in
   let completed = drive c ~keys:30 ~txns_per_thread:40 ~threads:3 in
-  ignore (Engine.schedule (Cluster.engine c) ~after:120.0 (fun () -> Cluster.kill c 2));
+  crash_at c ~at_us:120.0 2;
   Helpers.drain c ~max_us:5_000_000.0;
   check Alcotest.bool "survivors progressed" true (!completed > 100);
   Helpers.expect_invariants c
@@ -92,7 +102,7 @@ let crash_during_load () =
 let crash_directory_member_during_load () =
   let c = mixed_workload_setup ~nodes:4 ~keys:30 () in
   let completed = drive c ~keys:30 ~txns_per_thread:30 ~threads:3 in
-  ignore (Engine.schedule (Cluster.engine c) ~after:150.0 (fun () -> Cluster.kill c 0));
+  crash_at c ~at_us:150.0 0;
   Helpers.drain c ~max_us:5_000_000.0;
   check Alcotest.bool "progress after directory loss" true (!completed > 80);
   Helpers.expect_invariants c
@@ -103,7 +113,7 @@ let crash_and_lossy_combined () =
   in
   let c = mixed_workload_setup ~fabric ~keys:25 ~seed:99L () in
   let completed = drive c ~keys:25 ~txns_per_thread:30 ~threads:3 in
-  ignore (Engine.schedule (Cluster.engine c) ~after:200.0 (fun () -> Cluster.kill c 1));
+  crash_at c ~at_us:200.0 1;
   Helpers.drain c ~max_us:8_000_000.0;
   check Alcotest.bool "progress" true (!completed > 50);
   Helpers.expect_invariants c
@@ -181,7 +191,7 @@ let migration_under_write_load () =
 let history_checked_under_faults () =
   let c = mixed_workload_setup ~keys:15 ~seed:1234L () in
   let _ = drive c ~keys:15 ~txns_per_thread:25 ~threads:2 in
-  ignore (Engine.schedule (Cluster.engine c) ~after:180.0 (fun () -> Cluster.kill c 2));
+  crash_at c ~at_us:180.0 2;
   Helpers.drain c ~max_us:5_000_000.0;
   match Cluster.history c with
   | Some h ->

@@ -110,6 +110,72 @@ let fabric_counters () =
   Fabric.reset_counters f;
   check Alcotest.int "reset" 0 (Fabric.messages_sent f)
 
+let fabric_oneway_partition () =
+  let e, f = setup () in
+  let log0 = collect f 0 and log1 = collect f 1 in
+  Fabric.partition_oneway f ~src:0 ~dst:1;
+  Fabric.send f ~src:0 ~dst:1 (Ping 1);
+  Fabric.send f ~src:1 ~dst:0 (Ping 2);
+  Engine.run e;
+  check Alcotest.int "src->dst dropped" 0 (List.length !log1);
+  check Alcotest.(list (pair int int)) "reverse direction open" [ (1, 2) ] !log0;
+  Fabric.heal_oneway f ~src:0 ~dst:1;
+  Fabric.send f ~src:0 ~dst:1 (Ping 3);
+  Engine.run e;
+  check Alcotest.(list (pair int int)) "healed" [ (0, 3) ] !log1
+
+let fabric_heal_all_clears_both_kinds () =
+  let e, f = setup () in
+  let log1 = collect f 1 and log2 = collect f 2 in
+  Fabric.partition f 0 1;
+  Fabric.partition_oneway f ~src:0 ~dst:2;
+  Fabric.heal_all f;
+  Fabric.send f ~src:0 ~dst:1 (Ping 1);
+  Fabric.send f ~src:0 ~dst:2 (Ping 2);
+  Engine.run e;
+  check Alcotest.int "symmetric healed" 1 (List.length !log1);
+  check Alcotest.int "one-way healed" 1 (List.length !log2)
+
+let fabric_perturb_spike () =
+  let e, f = setup () in
+  let log = collect f 1 in
+  Fabric.set_perturb f (Some { Fabric.p_loss = 1.0; p_dup = 0.0; p_delay_us = 0.0 });
+  for _ = 1 to 10 do
+    Fabric.send f ~src:0 ~dst:1 (Ping 1)
+  done;
+  Engine.run e;
+  check Alcotest.int "spike loses everything" 0 (List.length !log);
+  Fabric.set_perturb f None;
+  Fabric.send f ~src:0 ~dst:1 (Ping 2);
+  Engine.run e;
+  check Alcotest.(list (pair int int)) "spike over" [ (0, 2) ] !log
+
+let fabric_perturb_delay_and_dup () =
+  let e, f = setup () in
+  let log = collect f 1 in
+  Fabric.set_perturb f (Some { Fabric.p_loss = 0.0; p_dup = 1.0; p_delay_us = 50.0 });
+  Fabric.send f ~src:0 ~dst:1 (Ping 1);
+  Engine.run e;
+  check Alcotest.int "duplicated" 2 (List.length !log);
+  check Alcotest.bool "spike delay applied" true (Engine.now e >= 50.0)
+
+let fabric_slow_node () =
+  (* measure a baseline delivery, then the same with a 10x gray sender *)
+  let e, f = setup () in
+  let _ = collect f 1 in
+  Fabric.send f ~src:0 ~dst:1 (Ping 1);
+  Engine.run e;
+  let baseline = Engine.now e in
+  let e2, f2 = setup () in
+  let _ = collect f2 1 in
+  Fabric.set_slow f2 0 10.0;
+  Fabric.send f2 ~src:0 ~dst:1 (Ping 1);
+  Engine.run e2;
+  if Engine.now e2 < 5.0 *. baseline then
+    Alcotest.failf "gray node not slowed: %.2f vs baseline %.2f" (Engine.now e2) baseline;
+  Fabric.set_slow f2 0 1.0;
+  check Alcotest.bool "factor cleared" true (Fabric.slow_factor f2 0 = 1.0)
+
 (* ---------- transport ---------- *)
 
 let transport_setup ?(fabric_config = Fabric.default_config) ?config () =
@@ -193,6 +259,71 @@ let transport_crash_clears_timers () =
   Transport.crash t 0;
   Engine.run ~max_events:10_000 e;
   check Alcotest.int "no stuck retransmit timers" 0 (Engine.pending e)
+
+let transport_backoff_deterministic () =
+  let c = Transport.default_config in
+  let rto = Transport.rto_after c in
+  (* pure: same flow and retry count, same timeout — twice *)
+  check (Alcotest.float 0.0) "deterministic" (rto ~src:0 ~dst:1 ~retries:3)
+    (rto ~src:0 ~dst:1 ~retries:3);
+  (* first shot starts at the base (plus at most 10% jitter) *)
+  let r0 = rto ~src:0 ~dst:1 ~retries:0 in
+  check Alcotest.bool "base rto" true (r0 >= c.Transport.rto_us && r0 <= 1.1 *. c.Transport.rto_us);
+  (* grows while under the cap, never exceeds cap + jitter *)
+  for r = 0 to 4 do
+    let a = rto ~src:0 ~dst:1 ~retries:r and b = rto ~src:0 ~dst:1 ~retries:(r + 1) in
+    if b < a && a < c.Transport.rto_max_us then
+      Alcotest.failf "backoff shrank below the cap: retries=%d %.1f -> %.1f" r a b
+  done;
+  for r = 0 to 20 do
+    let v = rto ~src:0 ~dst:1 ~retries:r in
+    if v > 1.1 *. c.Transport.rto_max_us then
+      Alcotest.failf "backoff exceeded cap: retries=%d %.1f" r v
+  done;
+  (* distinct flows jitter apart (desynchronizing simultaneous probers) *)
+  check Alcotest.bool "per-flow jitter" true
+    (rto ~src:0 ~dst:1 ~retries:4 <> rto ~src:1 ~dst:2 ~retries:4)
+
+let transport_backoff_collapses_probe_rate () =
+  (* against an unreachable peer, backoff must spend far fewer
+     retransmissions than the historical fixed-rate transport over the
+     same virtual-time horizon *)
+  let probe config =
+    let e, t = transport_setup ~config () in
+    let _ = tcollect t 1 in
+    Fabric.partition (Transport.fabric t) 0 1;
+    Transport.send t ~src:0 ~dst:1 (Ping 1);
+    Engine.run ~until:5_000.0 e;
+    Transport.retransmissions t
+  in
+  let fixed = probe { Transport.default_config with Transport.rto_backoff = 1.0 } in
+  let backed = probe Transport.default_config in
+  if backed * 3 > fixed then
+    Alcotest.failf "backoff did not collapse probing: fixed=%d backed-off=%d" fixed backed
+
+let transport_backoff_resets_on_progress () =
+  (* loss makes some bursts retransmit (counting backoffs), but once the
+     partition heals and the window advances, delivery completes *)
+  let e, t = transport_setup () in
+  let log = tcollect t 1 in
+  Fabric.partition (Transport.fabric t) 0 1;
+  Transport.send t ~src:0 ~dst:1 (Ping 1);
+  ignore
+    (Engine.schedule e ~after:600.0 (fun () -> Fabric.heal (Transport.fabric t) 0 1));
+  Engine.run e;
+  check Alcotest.int "delivered after heal" 1 (List.length !log);
+  check Alcotest.bool "bursts were backed off" true (Transport.backoffs t > 0);
+  (* fresh traffic after progress goes back to the base timeout: a second
+     outage retransmits promptly rather than starting at the cap *)
+  Fabric.partition (Transport.fabric t) 0 1;
+  let before = Transport.retransmissions t in
+  Transport.send t ~src:0 ~dst:1 (Ping 2);
+  Engine.run ~until:(Engine.now e +. 200.0) e;
+  check Alcotest.bool "prompt first retransmission" true
+    (Transport.retransmissions t > before);
+  Fabric.heal (Transport.fabric t) 0 1;
+  Engine.run e;
+  check Alcotest.int "second message delivered" 2 (List.length !log)
 
 (* ---------- batching ---------- *)
 
@@ -311,12 +442,20 @@ let suite =
     tc "fabric: in-flight to crashed node dropped" fabric_in_flight_to_crashed;
     tc "fabric: self-send" fabric_self_send;
     tc "fabric: traffic counters" fabric_counters;
+    tc "fabric: one-way partitions" fabric_oneway_partition;
+    tc "fabric: heal_all clears both partition kinds" fabric_heal_all_clears_both_kinds;
+    tc "fabric: perturbation spike (loss)" fabric_perturb_spike;
+    tc "fabric: perturbation spike (delay+dup)" fabric_perturb_delay_and_dup;
+    tc "fabric: gray node latency multiplier" fabric_slow_node;
     tc "transport: delivers" transport_delivers;
     tc "transport: exactly-once under 40% loss" transport_survives_loss;
     tc "transport: dedup under duplication" transport_dedup_duplication;
     tc "transport: dedup can be disabled" transport_no_dedup_mode;
     tc "transport: gives up on dead peer" transport_gives_up_on_dead_peer;
     tc "transport: crash clears retransmit state" transport_crash_clears_timers;
+    tc "transport: backoff schedule is deterministic" transport_backoff_deterministic;
+    tc "transport: backoff collapses probe rate" transport_backoff_collapses_probe_rate;
+    tc "transport: backoff resets on window progress" transport_backoff_resets_on_progress;
     tc "transport: same-instant sends coalesce into one frame"
       transport_coalesces_same_instant;
     tc "transport: unbatched mode keeps legacy message counts"
