@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-quick bench-smoke chaos-smoke trace-smoke clean
+.PHONY: all build test check bench bench-quick bench-smoke chaos-smoke detect-smoke trace-smoke clean
 
 all: build
 
@@ -47,6 +47,26 @@ chaos-smoke: build
 	  echo "chaos-smoke: an invariant monitor reported a violation" >&2; exit 1; fi
 	@echo "chaos-smoke: BENCH_faults.json OK"
 
+# Quick failure-detection sweep (heartbeat period x suspicion-timeout floor,
+# Detected membership mode) + sanity-check of BENCH_detection.json: all
+# expected keys present, every configuration detected the follower crash
+# (no "detect_latency_us": null), every detection landed within its
+# analytical bound, and commits progressed after every view change.
+detect-smoke: build
+	rm -f BENCH_detection.json
+	dune exec bench/main.exe -- --quick detection
+	@test -s BENCH_detection.json || { echo "detect-smoke: BENCH_detection.json missing or empty" >&2; exit 1; }
+	@for key in period_us min_timeout_us bound_us detect_latency_us within_bound recovered noise_false_suspicions noise_evictions_averted; do \
+	  grep -q "\"$$key\"" BENCH_detection.json || { echo "detect-smoke: key \"$$key\" missing from BENCH_detection.json" >&2; exit 1; }; \
+	done
+	@if grep -q '"detect_latency_us": null' BENCH_detection.json; then \
+	  echo "detect-smoke: a configuration never detected the crash" >&2; exit 1; fi
+	@if grep -q '"within_bound": false' BENCH_detection.json; then \
+	  echo "detect-smoke: a detection exceeded its analytical bound" >&2; exit 1; fi
+	@if grep -q '"recovered": false' BENCH_detection.json; then \
+	  echo "detect-smoke: commits did not progress after a view change" >&2; exit 1; fi
+	@echo "detect-smoke: BENCH_detection.json OK"
+
 # Quick traced Smallbank run.  The trace subcommand itself validates the
 # exported file (parses as Chrome trace JSON, every committed transaction
 # carries ownership/execute/replicate spans with nested sim-time bounds)
@@ -59,4 +79,4 @@ trace-smoke: build
 
 clean:
 	dune clean
-	rm -f BENCH_locality.json BENCH_transport.json BENCH_faults.json trace.json
+	rm -f BENCH_locality.json BENCH_transport.json BENCH_faults.json BENCH_detection.json trace.json

@@ -221,6 +221,35 @@ let emit_faults_json path =
     Zeus_chaos.Report.write ~path (Zeus_experiments.Faults.report r);
     Printf.printf "wrote %s\n%!" path
 
+(* Machine-readable results for the failure-detection sweep (consumed by
+   the detect-smoke CI check). *)
+let emit_detection_json path =
+  match Zeus_experiments.Detection.last_results () with
+  | None -> ()
+  | Some r ->
+    let module D = Zeus_experiments.Detection in
+    let num x = if Float.is_finite x then Printf.sprintf "%.1f" x else "null" in
+    let opt_num = function Some x -> num x | None -> "null" in
+    let combo (c : D.combo) =
+      Printf.sprintf
+        "{\"period_us\": %s, \"min_timeout_us\": %s, \"bound_us\": %s, \
+         \"detect_latency_us\": %s, \"within_bound\": %b, \"recovered\": %b, \
+         \"crash_suspicions\": %d, \"noise_suspicions\": %d, \
+         \"noise_retractions\": %d, \"noise_false_suspicions\": %d, \
+         \"noise_evictions_averted\": %d, \"noise_views_installed\": %d}"
+        (num c.D.period_us) (num c.D.min_timeout_us) (num c.D.bound_us)
+        (opt_num c.D.detect_latency_us) c.D.within_bound c.D.recovered
+        c.D.crash_suspicions c.D.noise_suspicions c.D.noise_retractions
+        c.D.noise_false_suspicions c.D.noise_evictions_averted
+        c.D.noise_views_installed
+    in
+    let oc = open_out path in
+    Printf.fprintf oc "{\"quick\": %b,\n \"seed\": %Ld,\n \"combos\": [\n  %s\n ]}\n"
+      r.D.quick r.D.seed
+      (String.concat ",\n  " (List.map combo r.D.combos));
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+
 let () =
   (* Experiment tables go through Tlog at Info; the library default (Warn)
      would silence them for this user-facing entry point. *)
@@ -245,5 +274,6 @@ let () =
     emit_locality_json "BENCH_locality.json";
     emit_transport_json "BENCH_transport.json";
     emit_faults_json "BENCH_faults.json";
+    emit_detection_json "BENCH_detection.json";
     Printf.printf "\nAll experiments done.\n%!"
   end

@@ -136,7 +136,16 @@ let chaos_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"PATH" ~doc:"Write the machine-readable report (JSON).")
   in
-  let run quick seed nodes faults duration out =
+  let detected =
+    Arg.(
+      value & flag
+      & info [ "detected" ]
+          ~doc:
+            "No membership oracle: crashes must be detected end-to-end \
+             (heartbeat silence, quorum suspicion, lease expiry) before the \
+             view changes.")
+  in
+  let run quick seed nodes faults duration out detected =
     let module Chaos = Zeus_chaos in
     let module Cluster = Zeus_core.Cluster in
     let module Node = Zeus_core.Node in
@@ -144,7 +153,14 @@ let chaos_cmd =
     (* auto_trim off for the same reason as the faults experiment: the
        known trim-wedge corner would read as a chaos-found regression. *)
     let config =
-      { Zeus_core.Config.default with Zeus_core.Config.nodes; auto_trim = false }
+      {
+        Zeus_core.Config.default with
+        Zeus_core.Config.nodes;
+        auto_trim = false;
+        membership_mode =
+          (if detected then Zeus_membership.Service.Detected
+           else Zeus_membership.Service.Oracle);
+      }
     in
     let cluster = Cluster.create ~config () in
     let eng = Cluster.engine cluster in
@@ -198,6 +214,17 @@ let chaos_cmd =
       (Cluster.total_committed cluster)
       (Cluster.total_aborted cluster)
       (Chaos.Monitor.samples monitor);
+    if Chaos.Nemesis.no_oracle nemesis then begin
+      let d = Zeus_membership.Service.det_stats (Cluster.membership cluster) in
+      Tel.Tlog.infof
+        "detection: %d heartbeats, %d suspicions (%d retracted), %d false, %d \
+         fenced, %d averted, %d views"
+        d.Zeus_membership.Service.heartbeats d.Zeus_membership.Service.suspicions
+        d.Zeus_membership.Service.retractions
+        d.Zeus_membership.Service.false_suspicions d.Zeus_membership.Service.fences
+        d.Zeus_membership.Service.evictions_averted
+        d.Zeus_membership.Service.views_installed
+    end;
     let fault_at_us =
       match Chaos.Nemesis.applied nemesis with (at, _) :: _ -> at | [] -> warmup_us
     in
@@ -205,6 +232,7 @@ let chaos_cmd =
       Chaos.Report.of_monitor
         ~name:(Printf.sprintf "random-%Ld" seed)
         ~fault_at_us
+        ~detection:(Chaos.Report.detection_of_service (Cluster.membership cluster))
         ~committed:(Cluster.total_committed cluster)
         ~aborted:(Cluster.total_aborted cluster)
         monitor
@@ -227,7 +255,7 @@ let chaos_cmd =
        ~doc:
          "Run Smallbank under a seeded random fault schedule with the online \
           invariant monitors armed; non-zero exit on any violation.")
-    Term.(ret (const run $ quick $ seed $ nodes $ faults $ duration $ out))
+    Term.(ret (const run $ quick $ seed $ nodes $ faults $ duration $ out $ detected))
 
 (* ---- trace ---- *)
 

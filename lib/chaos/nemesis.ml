@@ -148,6 +148,10 @@ let attach ?monitor cluster schedule =
   t
 
 let schedule t = t.schedule
+
+let no_oracle t =
+  Zeus_membership.Service.mode (Cluster.membership t.cluster)
+  = Zeus_membership.Service.Detected
 let applied t = List.rev t.applied
 let skipped t = t.skipped
 let done_ t = t.fired = Schedule.length t.schedule

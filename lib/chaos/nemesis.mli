@@ -16,7 +16,16 @@
 
     Attaching {!Schedule.empty} is free: no counters are registered and no
     events are scheduled, so a run with an empty nemesis is
-    telemetry-identical to a run with no nemesis at all. *)
+    telemetry-identical to a run with no nemesis at all.
+
+    {b No-oracle mode.}  When the cluster runs with
+    [membership_mode = Detected], the nemesis inherits it transparently:
+    [Crash] steps still go through {!Zeus_core.Cluster.kill}, but that
+    only silences the node at the fabric — no reconfiguration is
+    scheduled by fiat.  The membership change (if any) is produced by the
+    surviving nodes' failure detectors end-to-end, so chaos runs exercise
+    the real detect → suspect → lease-expire → install pipeline.
+    {!no_oracle} reports which regime a nemesis is operating in. *)
 
 type t
 
@@ -26,6 +35,10 @@ val attach : ?monitor:Monitor.t -> Zeus_core.Cluster.t -> Schedule.t -> t
     disruptive step (heals do not reset the grace window on their own). *)
 
 val schedule : t -> Schedule.t
+
+val no_oracle : t -> bool
+(** [true] iff the attached cluster detects failures end-to-end
+    ([membership_mode = Detected]) rather than being told about them. *)
 
 val applied : t -> (float * Schedule.fault) list
 (** Faults actually applied, in application order with their virtual

@@ -1,3 +1,28 @@
+type detection = {
+  d_mode : string;
+  d_heartbeats : int;
+  d_suspicions : int;
+  d_retractions : int;
+  d_false_suspicions : int;
+  d_fences : int;
+  d_evictions_averted : int;
+  d_views_installed : int;
+}
+
+let detection_of_service svc =
+  let open Zeus_membership.Service in
+  let s = det_stats svc in
+  {
+    d_mode = (match mode svc with Oracle -> "oracle" | Detected -> "detected");
+    d_heartbeats = s.heartbeats;
+    d_suspicions = s.suspicions;
+    d_retractions = s.retractions;
+    d_false_suspicions = s.false_suspicions;
+    d_fences = s.fences;
+    d_evictions_averted = s.evictions_averted;
+    d_views_installed = s.views_installed;
+  }
+
 type scenario = {
   name : string;
   fault_at_us : float;
@@ -9,6 +34,7 @@ type scenario = {
   aborted : int;
   monitors_ok : bool;
   violations : string list;
+  detection : detection option;
   timeline : (float * float) list;
 }
 
@@ -18,7 +44,8 @@ let mean = function
   | [] -> Float.nan
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
-let of_monitor ~name ~fault_at_us ?restart_at_us ~committed ~aborted monitor =
+let of_monitor ~name ~fault_at_us ?restart_at_us ?detection ~committed ~aborted monitor
+    =
   let cfg = Monitor.config monitor in
   let tl = Monitor.goodput monitor in
   let pre =
@@ -57,6 +84,7 @@ let of_monitor ~name ~fault_at_us ?restart_at_us ~committed ~aborted monitor =
     aborted;
     monitors_ok;
     violations;
+    detection;
     timeline = tl;
   }
 
@@ -76,6 +104,14 @@ let escape s =
     s;
   Buffer.contents buf
 
+let detection_to_json d =
+  Printf.sprintf
+    "{\"mode\": \"%s\", \"heartbeats\": %d, \"suspicions\": %d, \
+     \"retractions\": %d, \"false_suspicions\": %d, \"fences\": %d, \
+     \"evictions_averted\": %d, \"views_installed\": %d}"
+    (escape d.d_mode) d.d_heartbeats d.d_suspicions d.d_retractions
+    d.d_false_suspicions d.d_fences d.d_evictions_averted d.d_views_installed
+
 let scenario_to_json s =
   let timeline =
     String.concat ", "
@@ -84,14 +120,17 @@ let scenario_to_json s =
   let violations =
     String.concat ", " (List.map (fun v -> Printf.sprintf "\"%s\"" (escape v)) s.violations)
   in
+  let detection =
+    match s.detection with None -> "null" | Some d -> detection_to_json d
+  in
   Printf.sprintf
     "{\"name\": \"%s\", \"fault_at_us\": %s, \"restart_at_us\": %s, \
      \"baseline_mtps\": %s, \"dip_mtps\": %s, \"recovery_us\": %s, \
      \"committed\": %d, \"aborted\": %d, \"monitors_ok\": %b, \
-     \"violations\": [%s], \"timeline\": [%s]}"
+     \"violations\": [%s], \"detection\": %s, \"timeline\": [%s]}"
     (escape s.name) (num s.fault_at_us) (opt_num s.restart_at_us)
     (num s.baseline_mtps) (num s.dip_mtps) (opt_num s.recovery_us) s.committed
-    s.aborted s.monitors_ok violations timeline
+    s.aborted s.monitors_ok violations detection timeline
 
 let to_json t =
   Printf.sprintf "{\"quick\": %b,\n \"seed\": %Ld,\n \"scenarios\": [\n  %s\n ]}\n"

@@ -7,6 +7,25 @@
     totals, and the monitor verdict.  [to_json] hand-rolls the JSON the
     same way as the other bench emitters — no JSON library in tree. *)
 
+(** Failure-detection observability for a scenario: which membership
+    regime it ran under ([d_mode]: ["oracle"] or ["detected"]) and the
+    detection counters at the end of the run — so [BENCH_faults.json]
+    distinguishes a recovery produced by an oracle-announced crash from
+    one the cluster detected itself (and quantifies false suspicions). *)
+type detection = {
+  d_mode : string;
+  d_heartbeats : int;
+  d_suspicions : int;
+  d_retractions : int;
+  d_false_suspicions : int;
+  d_fences : int;
+  d_evictions_averted : int;
+  d_views_installed : int;
+}
+
+val detection_of_service : Zeus_membership.Service.t -> detection
+(** Snapshot a membership service's {!Zeus_membership.Service.det_stats}. *)
+
 type scenario = {
   name : string;
   fault_at_us : float;
@@ -18,6 +37,7 @@ type scenario = {
   aborted : int;
   monitors_ok : bool;
   violations : string list;
+  detection : detection option;  (** [None] when the run predates tracking *)
   timeline : (float * float) list;  (** [(window_start_us, mtps)] *)
 }
 
@@ -31,6 +51,7 @@ val of_monitor :
   name:string ->
   fault_at_us:float ->
   ?restart_at_us:float ->
+  ?detection:detection ->
   committed:int ->
   aborted:int ->
   Monitor.t ->

@@ -438,9 +438,66 @@ let on_view_change t (v : View.t) =
           Hashtbl.iter (fun _ si -> start_replay t si) fp.stored
         end)
       t.follower_pipes;
-    check_drained t;
-    doorbell t
-  end
+    check_drained t
+  end;
+  (* The epoch just bumped.  Any R-INV of a still-open slot (or replay) may
+     have been sent under the old epoch and fenced off by a follower that
+     installed this view first; the transport is reliable, so nothing below
+     us retries.  Re-drive the missing followers at the new epoch —
+     followers that did apply the original take the duplicate path and
+     simply re-ACK.  (Found via the detected-mode fault experiment: one
+     fenced R-INV left a commit waiting forever for its ACK, holding the
+     written keys busy against every ownership arb-replay.) *)
+  let e = v.View.epoch in
+  Hashtbl.iter
+    (fun _ pipe ->
+      Hashtbl.iter
+        (fun _ (s : slot_state) ->
+          let size = writes_size s.s_writes in
+          List.iter
+            (fun f ->
+              if View.is_live v f then begin
+                let prev_val =
+                  match Hashtbl.find_opt pipe.slots (s.s_tx.slot - 1) with
+                  | None -> true
+                  | Some ps ->
+                    if not (List.mem f ps.s_followers || List.mem f ps.s_extra_vals)
+                    then ps.s_extra_vals <- f :: ps.s_extra_vals;
+                    false
+                in
+                send t ~dst:f ~size
+                  (R_inv
+                     {
+                       tx = s.s_tx;
+                       epoch = e;
+                       followers = s.s_followers;
+                       writes = s.s_writes;
+                       prev_val;
+                       replay = false;
+                     })
+              end)
+            s.s_missing)
+        pipe.slots)
+    t.pipelines;
+  Hashtbl.iter
+    (fun _ (s : slot_state) ->
+      let size = writes_size s.s_writes in
+      List.iter
+        (fun f ->
+          if View.is_live v f then
+            send t ~dst:f ~size
+              (R_inv
+                 {
+                   tx = s.s_tx;
+                   epoch = e;
+                   followers = s.s_followers;
+                   writes = s.s_writes;
+                   prev_val = false;
+                   replay = true;
+                 }))
+        s.s_missing)
+    t.replaying;
+  doorbell t
 
 (* Fresh-incarnation reset for a rejoining node. *)
 let reset t =
@@ -454,7 +511,17 @@ let reset t =
 let handle t ~src payload =
   match payload with
   | R_inv { tx; epoch = e; followers; writes; prev_val; replay } ->
-    if e = epoch t then handle_inv t ~src ~tx ~followers ~writes ~prev_val ~replay;
+    (* Fence STALE epochs only.  A future-epoch R-INV comes from a peer
+       that installed the next view before us; views are monotone and we
+       will install it within the skew bound, so the traffic is not a
+       pre-reconfiguration zombie — and dropping it loses the delivery for
+       good, because the transport is reliable and nothing above it
+       retries.  Exception: a sender we still see as dead is a rejoined
+       incarnation whose follower-pipe state we will wipe when its revival
+       view reaches us, so accepting its slots early would store state the
+       wipe then destroys — keep fencing those. *)
+    if e = epoch t || (e > epoch t && live t src) then
+      handle_inv t ~src ~tx ~followers ~writes ~prev_val ~replay;
     true
   | R_ack { tx; sender } ->
     handle_ack t ~tx ~sender;

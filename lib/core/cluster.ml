@@ -26,6 +26,7 @@ let create ?(config = Config.default) ?(tracing = false) () =
   let transport = Transport.create ~config:config.Config.transport ~telemetry fabric in
   let membership =
     Service.create ~lease_us:config.Config.lease_us ~detect_us:config.Config.detect_us
+      ~mode:config.Config.membership_mode ~detection:config.Config.detection ~telemetry
       transport
   in
   let history = if config.Config.record_history then Some (History.create ()) else None in
@@ -33,7 +34,19 @@ let create ?(config = Config.default) ?(tracing = false) () =
     Array.init config.Config.nodes (fun id ->
         Node.create ~telemetry ~config ~id ~transport ~membership ~history ())
   in
-  { config; engine; fabric; transport; membership; history; telemetry; nodes }
+  let t = { config; engine; fabric; transport; membership; history; telemetry; nodes } in
+  (* A fenced node (falsely suspected but alive — its lease died under it)
+     rejoins as a fresh incarnation after a short backoff, protocol state
+     wiped, unless a crash/rejoin schedule already revived it. *)
+  Service.set_fence_hook membership (fun n ->
+      let backoff = config.Config.detection.Service.rejoin_backoff_us in
+      ignore
+        (Engine.schedule engine ~after:backoff (fun () ->
+             if not (Fabric.is_alive fabric n) then begin
+               Node.reset t.nodes.(n);
+               Service.rejoin membership n
+             end)));
+  t
 
 let config t = t.config
 let engine t = t.engine
@@ -73,6 +86,8 @@ let rejoin t i =
 let run t ~until_us = Engine.run ~until:until_us t.engine
 
 let run_quiesce t ?(max_us = 1e8) () =
+  (* Standing heartbeat timers would keep the engine from draining. *)
+  Service.suspend t.membership;
   Engine.run ~until:(Engine.now t.engine +. max_us) t.engine
 
 let total_committed t = Array.fold_left (fun acc n -> acc + Node.committed n) 0 t.nodes

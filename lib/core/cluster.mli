@@ -41,7 +41,10 @@ val live_nodes : t -> int list
     membership view — the two disagree during the detection window). *)
 
 val kill : t -> int -> unit
-(** Crash a node; membership reconfigures after detection + lease expiry. *)
+(** Crash a node.  Under [membership_mode = Oracle] the membership service
+    reconfigures after detection + lease expiry by fiat; under [Detected]
+    the crash is fabric-level only and reconfiguration happens iff the
+    surviving nodes detect the heartbeat silence end-to-end. *)
 
 val rejoin : t -> int -> unit
 
@@ -49,7 +52,9 @@ val run : t -> until_us:float -> unit
 (** Advance virtual time. *)
 
 val run_quiesce : t -> ?max_us:float -> unit -> unit
-(** Run until no events remain or [max_us] of virtual time has passed. *)
+(** Run until no events remain or [max_us] of virtual time has passed.
+    Suspends the membership service's standing heartbeat timers first
+    (resume them with [Service.resume] to continue detecting). *)
 
 val total_committed : t -> int
 val total_aborted : t -> int

@@ -54,6 +54,15 @@ type t = {
   ownership : Zeus_ownership.Agent.config;
   lease_us : float;
   detect_us : float;
+  membership_mode : Zeus_membership.Service.mode;
+      (** [Oracle] (default): the membership service is told about crashes
+          and installs the excluding view after [detect_us + lease_us] by
+          fiat.  [Detected]: failures are detected end-to-end — heartbeat
+          silence, quorum suspicion, lease expiry, fencing — per
+          [detection] below. *)
+  detection : Zeus_membership.Service.detection;
+      (** heartbeat period, adaptive suspicion timeout bounds, and the
+          fenced-node rejoin backoff; only read in [Detected] mode *)
   seed : int64;
 }
 
@@ -82,6 +91,8 @@ let default =
     ownership = Zeus_ownership.Agent.default_config;
     lease_us = 2_000.0;
     detect_us = 1_000.0;
+    membership_mode = Zeus_membership.Service.Oracle;
+    detection = Zeus_membership.Service.default_detection;
     seed = 42L;
   }
 

@@ -237,6 +237,10 @@ let create ?telemetry ~config ~id ~transport ~membership ~history () =
   in
   t.commit <- Some commit;
   Transport.set_handler transport id (fun ~src payload ->
+      (* Feed the failure detector first: any traffic from [src] is a
+         liveness signal, and membership heartbeats are consumed here
+         (they never reach the protocol agents). *)
+      if not (Service.observe membership ~dst:id ~src payload) then
       (* Every received message costs datastore-worker CPU. *)
       Resource.submit t.ds ~service:(payload_cost config payload) (fun () ->
           if not (Own.Agent.handle ownership ~src payload) then

@@ -15,6 +15,7 @@ let all : (string * string * (quick:bool -> unit)) list =
     ("ablations", "pipeline depth, replication degree, read-only, object size", Ablations.run);
     ("transport", "batched vs unbatched reliable transport (messages/bytes/events per txn)", Transport_ab.run);
     ("faults", "Smallbank under follower/owner/directory crashes: dip + recovery time", Faults.run);
+    ("detection", "heartbeat period x suspicion threshold: detection latency vs false positives", Detection.run);
   ]
 
 let names () = List.map (fun (id, _, _) -> id) all

@@ -18,6 +18,12 @@
       a directory replica (ownership arbitration continues on the
       remaining replica after the view change).
 
+    A fourth scenario, {e follower-detected}, repeats the follower crash
+    with [membership_mode = Detected]: no oracle announces the crash — the
+    survivors' heartbeat detectors must suspect node 3, reach a quorum and
+    wait out the lease before the view change, so comparing it against
+    {e follower} isolates the price of real end-to-end failure detection.
+
     Each scenario runs under a {!Zeus_chaos.Schedule} executed by the
     {!Zeus_chaos.Nemesis} with a {!Zeus_chaos.Monitor} attached: the
     goodput timeline (500 µs windows over the surviving drivers) yields
@@ -42,10 +48,15 @@ let seed = 7L
    [W.Driver.run], it survives a driving node's crash window by polling
    for the rejoin), and a crash/restart window on [crash_node] executed by
    the nemesis. *)
-let run_scenario ~quick ~name ~home_shift ~drive ~crash_node ~remote_frac =
+let run_scenario ?(mode = Zeus_membership.Service.Oracle) ?(extra_down_us = 0.0)
+    ~quick ~name ~home_shift ~drive ~crash_node ~remote_frac () =
   let warmup_us = if quick then 1_500.0 else 3_000.0 in
   let fault_at_us = warmup_us +. if quick then 5_000.0 else 8_000.0 in
-  let down_us = if quick then 6_000.0 else 9_000.0 in
+  (* [extra_down_us] stretches the crash window for Detected mode: the view
+     change only lands after detect + suspicion quorum + lease (~4 ms), so
+     without the stretch the node would rejoin before the post-eviction
+     goodput plateau is even observable. *)
+  let down_us = (if quick then 6_000.0 else 9_000.0) +. extra_down_us in
   let restart_at_us = fault_at_us +. down_us in
   let end_us = restart_at_us +. if quick then 6_000.0 else 10_000.0 in
   (* auto_trim off: with 4 nodes and degree 3, a remote acquisition's trim
@@ -60,6 +71,7 @@ let run_scenario ~quick ~name ~home_shift ~drive ~crash_node ~remote_frac =
       seed;
       app_threads = 6;
       auto_trim = false;
+      membership_mode = mode;
     }
   in
   let c = Cluster.create ~config () in
@@ -109,6 +121,7 @@ let run_scenario ~quick ~name ~home_shift ~drive ~crash_node ~remote_frac =
   Cluster.run_quiesce c ~max_us:(end_us +. 100_000.0) ();
   assert (Chaos.Nemesis.done_ nemesis);
   Chaos.Report.of_monitor ~name ~fault_at_us ~restart_at_us
+    ~detection:(Chaos.Report.detection_of_service (Cluster.membership c))
     ~committed:(Cluster.total_committed c - !committed0)
     ~aborted:(Cluster.total_aborted c - !aborted0)
     monitor
@@ -117,11 +130,19 @@ let compute ~quick =
   let scenarios =
     [
       run_scenario ~quick ~name:"follower" ~home_shift:0 ~drive:[ 0; 1; 2 ]
-        ~crash_node:3 ~remote_frac:0.2;
+        ~crash_node:3 ~remote_frac:0.2 ();
       run_scenario ~quick ~name:"owner" ~home_shift:0 ~drive:[ 0; 1 ] ~crash_node:2
-        ~remote_frac:0.35;
+        ~remote_frac:0.35 ();
       run_scenario ~quick ~name:"directory" ~home_shift:1 ~drive:[ 1; 2; 3 ]
-        ~crash_node:0 ~remote_frac:0.2;
+        ~crash_node:0 ~remote_frac:0.2 ();
+      (* Same crash as [follower], but nothing tells the membership service:
+         the survivors must detect the silence, reach a suspicion quorum and
+         wait out the lease before the view change — recovery here measures
+         the whole detect → suspect → lease → install pipeline. *)
+      run_scenario ~mode:Zeus_membership.Service.Detected
+        ~extra_down_us:(if quick then 8_000.0 else 12_000.0) ~quick
+        ~name:"follower-detected" ~home_shift:0 ~drive:[ 0; 1; 2 ] ~crash_node:3
+        ~remote_frac:0.2 ();
     ]
   in
   { quick; seed; scenarios }
@@ -135,7 +156,7 @@ let print_scenario (s : Chaos.Report.scenario) =
   Exp.print_kv
     (Printf.sprintf "faults: %s crash at %.0f us" s.Chaos.Report.name
        s.Chaos.Report.fault_at_us)
-    [
+    ([
       ("baseline goodput (Mtps)", Printf.sprintf "%.4f" s.Chaos.Report.baseline_mtps);
       ("worst window (Mtps)", Printf.sprintf "%.4f" s.Chaos.Report.dip_mtps);
       ( "recovery (us)",
@@ -145,6 +166,16 @@ let print_scenario (s : Chaos.Report.scenario) =
       ("committed / aborted", Printf.sprintf "%d / %d" s.Chaos.Report.committed s.Chaos.Report.aborted);
       ("monitors", if s.Chaos.Report.monitors_ok then "ok" else "VIOLATION");
     ]
+    @
+    match s.Chaos.Report.detection with
+    | Some d when d.Chaos.Report.d_mode = "detected" ->
+      [
+        ( "detection",
+          Printf.sprintf "%d suspicions, %d false, %d averted, %d views"
+            d.Chaos.Report.d_suspicions d.Chaos.Report.d_false_suspicions
+            d.Chaos.Report.d_evictions_averted d.Chaos.Report.d_views_installed );
+      ]
+    | _ -> [])
 
 let run ~quick =
   let r = compute ~quick in

@@ -105,7 +105,10 @@ type t = {
 }
 
 let trace : (string -> unit) option ref = ref None
-let tracef fmt = Format.kasprintf (fun s -> match !trace with Some f -> f s | None -> ()) fmt
+let tracef fmt =
+  match !trace with
+  | Some f -> Format.kasprintf f fmt
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let node t = t.node
 let directory t = t.directory
@@ -233,6 +236,8 @@ let replay_check_complete t r =
     (* The designated data source may have died with the coordinator; any
        live replica-arbiter (often this replayer) can supply the value. *)
     if r.r_data = None then r.r_data <- snapshot t r.r_key;
+    tracef "n%d replay-complete key=%d req=n%d data=%b" t.node r.r_key
+      p.Directory.requester (r.r_data <> None);
     if live t p.Directory.requester then
       send t ~dst:p.Directory.requester
         ~size:(64 + match r.r_data with Some d -> Value.size d.value | None -> 0)
@@ -273,6 +278,9 @@ let start_replay t key (p : Directory.pending) =
     in
     let r = { r_pending = p; r_key = key; r_acks = [ t.node ]; r_data = None } in
     if p.Directory.data_from = Some t.node then r.r_data <- snapshot t key;
+    tracef "n%d replay key=%d arbiters=[%s] data_from=%s" t.node key
+      (String.concat ";" (List.map string_of_int p.Directory.arbiters))
+      (match p.Directory.data_from with Some n -> string_of_int n | None -> "-");
     Hashtbl.replace t.replays key r;
     let e = epoch t in
     List.iter
@@ -687,7 +695,11 @@ let handle_inv t ~req_id ~key ~o_ts ~base_ts ~new_replicas ~kind ~requester ~arb
            here; the model checker showed the rollback can race ahead of
            the arbitration's own in-flight INVs, leaving a zombie
            arbitration that later resurrects over a newer owner. *)
-        nack t ~dst:requester ~req_id ~key Busy
+        begin
+          tracef "n%d busy-nacks INV key=%d ts=%s req=n%d rec=%b" t.node key
+            (Format.asprintf "%a" Ots.pp o_ts) requester recovery;
+          nack t ~dst:requester ~req_id ~key Busy
+        end
       else begin
         tracef "n%d buffers INV key=%d ts=%s req=n%d rec=%b" t.node key
           (Format.asprintf "%a" Ots.pp o_ts) requester recovery;
@@ -707,8 +719,17 @@ let handle_inv t ~req_id ~key ~o_ts ~base_ts ~new_replicas ~kind ~requester ~arb
         ack ()
       end
     end
-    (* else: stale or beaten INV — ignore; its requester can never collect
-       all ACKs, and its driver will learn when the winner's INV reaches it. *)
+    else
+      (* stale or beaten INV — ignore; its requester can never collect
+         all ACKs, and its driver will learn when the winner's INV reaches it. *)
+      tracef "n%d ignores stale INV key=%d ts=%s applied=%s pend=%s rec=%b" t.node
+        key
+        (Format.asprintf "%a" Ots.pp o_ts)
+        (Format.asprintf "%a" Ots.pp applied)
+        (match pend with
+        | Some p -> Format.asprintf "%a" Ots.pp p.Directory.o_ts
+        | None -> "-")
+        recovery
   end
 
 let handle_val t ~key ~o_ts =
@@ -756,7 +777,9 @@ let handle_nack t ~req_id ~key ~o_ts ~reason =
 let handle_resp t ~req_id ~key ~o_ts ~new_replicas ~arbiters ~data =
   (* Replay driver confirmed our (possibly long forgotten) win: apply first,
      then VAL, exactly as in the failure-free path.  Idempotent. *)
-  if missing_data t ~key ~kind:Acquire ~data then ()
+  if missing_data t ~key ~kind:Acquire ~data then
+    tracef "n%d drops RESP key=%d ts=%s (no data anywhere)" t.node key
+      (Format.asprintf "%a" Ots.pp o_ts)
   else
   (match Hashtbl.find_opt t.outstanding req_id.seq with
   | Some o ->

@@ -227,6 +227,59 @@ let driver_counts_in_window () =
   let expected = float_of_int r.W.Driver.committed /. 1_000.0 in
   Alcotest.(check (float 1e-6)) "mtps math" expected r.W.Driver.mtps
 
+(* An issue function that always aborts the first attempt of every logical
+   transaction and commits the second: with retry on, every transaction
+   commits (once) after exactly one retry; with retry off, nothing ever
+   commits.  Failures are delivered asynchronously so simulated time
+   advances between attempts. *)
+let flaky_issue c calls _node ~thread ~seq done_ =
+  let eng = Zeus_core.Cluster.engine c in
+  let key = (thread, seq) in
+  let n = (try Hashtbl.find calls key with Not_found -> 0) + 1 in
+  Hashtbl.replace calls key n;
+  ignore (Zeus_sim.Engine.schedule eng ~after:10.0 (fun () -> done_ (n >= 2)))
+
+let driver_retry_commits_once () =
+  let c = Helpers.default_cluster () in
+  let calls = Hashtbl.create 64 in
+  let r =
+    W.Driver.run c ~nodes:[ 0 ] ~threads:2 ~retry:W.Driver.default_retry
+      ~warmup_us:0.0 ~duration_us:2_000.0 ~issue:(flaky_issue c calls) ()
+  in
+  Alcotest.(check bool) "commits under retry" true (r.W.Driver.committed > 0);
+  Alcotest.(check int) "retried commits are not aborts" 0 r.W.Driver.aborted;
+  Alcotest.(check bool) "one retry per commit" true
+    (r.W.Driver.retries >= r.W.Driver.committed);
+  Hashtbl.iter
+    (fun (thread, seq) n ->
+      if n > 2 then Alcotest.failf "txn %d/%d issued %d times" thread seq n)
+    calls
+
+let driver_no_retry_surfaces_aborts () =
+  let c = Helpers.default_cluster () in
+  let calls = Hashtbl.create 64 in
+  let r =
+    W.Driver.run c ~nodes:[ 0 ] ~threads:2 ~warmup_us:0.0 ~duration_us:2_000.0
+      ~issue:(flaky_issue c calls) ()
+  in
+  Alcotest.(check int) "first attempts always abort" 0 r.W.Driver.committed;
+  Alcotest.(check int) "no retries without opt-in" 0 r.W.Driver.retries;
+  Alcotest.(check bool) "aborts surface" true (r.W.Driver.aborted > 0)
+
+let driver_retry_deterministic () =
+  let go () =
+    let c = Helpers.default_cluster () in
+    let calls = Hashtbl.create 64 in
+    let r =
+      W.Driver.run c ~nodes:[ 0 ] ~threads:3 ~retry:W.Driver.default_retry
+        ~warmup_us:0.0 ~duration_us:1_500.0 ~issue:(flaky_issue c calls) ()
+    in
+    (r.W.Driver.committed, r.W.Driver.retries)
+  in
+  let c1, r1 = go () and c2, r2 = go () in
+  Alcotest.(check int) "committed reproducible" c1 c2;
+  Alcotest.(check int) "retries reproducible" r1 r2
+
 let suite =
   [
     tc "smallbank: keys in range" smallbank_keys_in_range;
@@ -248,4 +301,7 @@ let suite =
     tc "venmo: valid pairs" venmo_pairs_valid;
     tc "tpcc: analytical fractions" tpcc_analytics;
     tc "driver: measurement window math" driver_counts_in_window;
+    tc "driver: retry commits once, counts retries" driver_retry_commits_once;
+    tc "driver: no retry without opt-in" driver_no_retry_surfaces_aborts;
+    tc "driver: retry backoff is deterministic" driver_retry_deterministic;
   ]
