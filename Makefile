@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-quick bench-smoke chaos-smoke detect-smoke trace-smoke clean
+.PHONY: all build test check bench bench-quick bench-smoke chaos-smoke detect-smoke trace-smoke perf-smoke perf-baseline clean
 
 all: build
 
@@ -77,6 +77,35 @@ trace-smoke: build
 	@test -s trace.json || { echo "trace-smoke: trace.json missing or empty" >&2; exit 1; }
 	@echo "trace-smoke: trace.json OK"
 
+# Quick wall-clock perf run (simulator events/sec + -j sweep scaling) +
+# sanity-check of BENCH_perf.json: all expected keys present, events/sec no
+# worse than 25% below the checked-in baseline (bench/perf_baseline.json),
+# and the -j1 vs -jN sweep bit-identical.
+perf-smoke: build
+	rm -f BENCH_perf.json
+	dune exec bench/main.exe -- --quick perf
+	@test -s BENCH_perf.json || { echo "perf-smoke: BENCH_perf.json missing or empty" >&2; exit 1; }
+	@for key in events_per_sec words_per_event speedup regression_ok sweep identical cores; do \
+	  grep -q "\"$$key\"" BENCH_perf.json || { echo "perf-smoke: key \"$$key\" missing from BENCH_perf.json" >&2; exit 1; }; \
+	done
+	@if grep -q '"regression_ok": false' BENCH_perf.json; then \
+	  echo "perf-smoke: events/sec regressed >25% vs bench/perf_baseline.json" >&2; exit 1; fi
+	@if grep -q '"identical": false' BENCH_perf.json; then \
+	  echo "perf-smoke: -j1 and -jN sweeps diverged (parallelism leaked into results)" >&2; exit 1; fi
+	@echo "perf-smoke: BENCH_perf.json OK"
+
+# Re-capture the wall-clock reference on this machine: run the perf harness
+# and copy its best smallbank events/sec into bench/perf_baseline.json.
+# Use when the reference hardware changes — the baseline is machine-bound.
+perf-baseline: build
+	dune exec bench/main.exe -- --quick perf
+	@test -s BENCH_perf.json || { echo "perf-baseline: BENCH_perf.json missing" >&2; exit 1; }
+	@eps=$$(sed -n 's/.*"smallbank": {"events_per_sec": \([0-9.]*\).*/\1/p' BENCH_perf.json); \
+	  test -n "$$eps" || { echo "perf-baseline: could not parse events_per_sec" >&2; exit 1; }; \
+	  printf '{"events_per_sec": %s,\n "captured": "%s",\n "state": "%s",\n "note": "Smallbank quick run, 3 nodes, 10 ms virtual, best of 5; machine-dependent — regenerate with '"'"'make perf-baseline'"'"' when the reference hardware changes."}\n' \
+	    "$$eps" "$$(date +%F)" "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" > bench/perf_baseline.json; \
+	  echo "perf-baseline: recorded $$eps events/sec in bench/perf_baseline.json"
+
 clean:
 	dune clean
-	rm -f BENCH_locality.json BENCH_transport.json BENCH_faults.json BENCH_detection.json trace.json
+	rm -f BENCH_locality.json BENCH_transport.json BENCH_faults.json BENCH_detection.json BENCH_perf.json trace.json

@@ -250,13 +250,71 @@ let emit_detection_json path =
     close_out oc;
     Printf.printf "wrote %s\n%!" path
 
+(* Machine-readable results for the perf harness (consumed by the
+   perf-smoke CI check: events/sec trajectory + -j sweep scaling). *)
+let emit_perf_json path =
+  match Zeus_experiments.Perf.last_results () with
+  | None -> ()
+  | Some r ->
+    let module P = Zeus_experiments.Perf in
+    let num x = if Float.is_finite x then Printf.sprintf "%.3f" x else "null" in
+    let opt_num = function Some x -> num x | None -> "null" in
+    let s = r.P.smallbank in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\"quick\": %b,\n \"repeats\": %d,\n \"cores\": %d,\n \
+       \"smallbank\": {\"events_per_sec\": %s, \"events\": %d, \"wall_s\": %s, \
+       \"committed\": %d, \"sim_us\": %s, \"minor_words\": %s, \
+       \"major_words\": %s, \"words_per_event\": %s},\n \
+       \"baseline_events_per_sec\": %s,\n \"speedup\": %s,\n \
+       \"regression_ok\": %b,\n \
+       \"sweep\": {\"points\": %d, \"jobs\": %d, \"j1_wall_s\": %s, \
+       \"jn_wall_s\": %s, \"speedup\": %s, \"identical\": %b}}\n"
+      r.P.quick r.P.repeats r.P.cores
+      (num s.P.events_per_sec) s.P.events (num s.P.wall_s) s.P.committed
+      (num s.P.sim_us) (num s.P.minor_words) (num s.P.major_words)
+      (num s.P.words_per_event)
+      (opt_num r.P.baseline_events_per_sec)
+      (opt_num r.P.speedup) r.P.regression_ok r.P.sweep_points r.P.sweep_jobs
+      (num r.P.sweep_j1_wall_s) (num r.P.sweep_jn_wall_s)
+      (num r.P.sweep_speedup) r.P.sweep_identical;
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+
 let () =
+  (* A simulation run allocates ~10^8 short-lived words (events, messages,
+     closures) whose lifetime is a few virtual µs; with the default 256 kw
+     minor heap a large fraction is promoted only to die in the next major
+     cycle.  A 16 Mw minor heap lets that garbage die young, and a relaxed
+     space_overhead keeps the major GC off the hot loop — together worth
+     ~25 % events/sec on the smallbank perf run (DESIGN.md §12). *)
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024; Gc.space_overhead = 400 };
   (* Experiment tables go through Tlog at Info; the library default (Warn)
      would silence them for this user-facing entry point. *)
   Zeus_telemetry.Tlog.set_level Zeus_telemetry.Tlog.Info;
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let micro = List.mem "--micro" args in
+  (* -j N: run independent sweep points on N domains (default 1). *)
+  let rec parse_jobs = function
+    | "-j" :: n :: _ -> int_of_string_opt n
+    | a :: rest ->
+      (match String.length a > 2 && String.sub a 0 2 = "-j" with
+      | true -> int_of_string_opt (String.sub a 2 (String.length a - 2))
+      | false -> parse_jobs rest)
+    | [] -> None
+  in
+  Option.iter Zeus_experiments.Sweep.set_jobs (parse_jobs args);
+  let args =
+    (* Drop "-j" "N" so the N isn't mistaken for an experiment id. *)
+    let rec strip = function
+      | "-j" :: _ :: rest -> strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
   let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   if micro then run_micro ()
   else begin
@@ -275,5 +333,6 @@ let () =
     emit_transport_json "BENCH_transport.json";
     emit_faults_json "BENCH_faults.json";
     emit_detection_json "BENCH_detection.json";
+    emit_perf_json "BENCH_perf.json";
     Printf.printf "\nAll experiments done.\n%!"
   end

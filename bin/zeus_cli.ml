@@ -16,6 +16,14 @@ module Tel = Zeus_telemetry
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Small populations and short runs.")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run independent sweep points on $(docv) domains (cores).  \
+           Results are bit-identical to -j 1; only wall-clock changes.")
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -37,7 +45,8 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see $(b,list)) or $(b,all).")
   in
-  let run quick id =
+  let run quick jobs id =
+    Zeus_experiments.Sweep.set_jobs jobs;
     if id = "all" then begin
       Zeus_experiments.Experiments.run_all ~quick;
       `Ok ()
@@ -51,7 +60,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate one of the paper's tables/figures (or $(b,all)).")
-    Term.(ret (const run $ quick $ id))
+    Term.(ret (const run $ quick $ jobs $ id))
 
 (* ---- bench ---- *)
 
@@ -409,6 +418,11 @@ let trace_cmd =
     Term.(ret (const run $ quick $ workload $ nodes $ out $ jsonl))
 
 let () =
+  (* Large minor heap: simulation garbage (events, messages, closures) is
+     short-lived; the default 256 kw nursery promotes much of it only to
+     die in the next major cycle.  See DESIGN.md §12. *)
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024; Gc.space_overhead = 400 };
   Tel.Tlog.set_level Tel.Tlog.Info;
   let doc = "Zeus: locality-aware distributed transactions (EuroSys '21 reproduction)" in
   exit

@@ -300,7 +300,10 @@ and lock_validate_phase t st =
 
 and validate_phase t st ~after =
   let home = st.tref.coord in
-  let keys = if st.spec.Spec.read_only then st.spec.Spec.reads else st.spec.Spec.reads in
+  let keys =
+    if st.spec.Spec.read_only then st.spec.Spec.reads
+    else st.spec.Spec.reads @ st.spec.Spec.writes
+  in
   if st.spec.Spec.read_only && List.length keys <= 1 then after true
   else begin
     let entries_of keys = List.map (fun key -> (key, List.assoc key st.versions)) keys in

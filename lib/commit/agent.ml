@@ -181,15 +181,19 @@ let commit ?(parent = Tspan.null_span) t ~thread ~updates ?on_durable () =
         s_extra_vals = [];
         s_on_durable = on_durable;
         s_span =
-          Tspan.start_span t.tspans ~cat:"commit" ~pid:t.node ~tid:thread
-            ~parent
-            ~args:
-              [
-                ("slot", string_of_int slot);
-                ("followers", string_of_int (List.length followers));
-                ("writes", string_of_int (List.length updates));
-              ]
-            "replication_ack";
+          (* Guarded so the args (three string_of_int) are only built when
+             tracing is live — this runs once per write commit. *)
+          (if Tspan.enabled t.tspans then
+             Tspan.start_span t.tspans ~cat:"commit" ~pid:t.node ~tid:thread
+               ~parent
+               ~args:
+                 [
+                   ("slot", string_of_int slot);
+                   ("followers", string_of_int (List.length followers));
+                   ("writes", string_of_int (List.length updates));
+                 ]
+               "replication_ack"
+           else Tspan.null_span);
       }
     in
     Hashtbl.replace pipe.slots slot s;

@@ -28,6 +28,9 @@ type t = {
   history : History.t option;
   outstanding_rc : int array;  (* per app thread: in-flight reliable commits *)
   waiters : (unit -> unit) Queue.t array;
+  txn_free : Txn.t option array;
+      (* per app thread: one recycled transaction, reinitialized on reuse so
+         the steady-state attempt allocates no copies table *)
   mutable app_handler : (src:Types.node_id -> Zeus_net.Msg.payload -> unit) option;
   (* Phase telemetry: histograms live on the cluster hub's registry
      (Histogram.v is idempotent by name, so all nodes feed the same five);
@@ -172,6 +175,7 @@ let create ?telemetry ~config ~id ~transport ~membership ~history () =
       history;
       outstanding_rc = Array.make config.Config.app_threads 0;
       waiters = Array.init config.Config.app_threads (fun _ -> Queue.create ());
+      txn_free = Array.make config.Config.app_threads None;
       app_handler = None;
       tspans = Hub.trace hub;
       h_own = Metrics.Histogram.v hm "txn.ownership_us";
@@ -482,9 +486,11 @@ let backoff t attempt =
 let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
   let txn_start = Engine.now t.engine in
   let root =
-    Tspan.start_span t.tspans ~cat:"txn" ~pid:t.id ~tid:thread
-      ~args:[ ("kind", if read_only then "read" else "write") ]
-      "txn"
+    if Tspan.enabled t.tspans then
+      Tspan.start_span t.tspans ~cat:"txn" ~pid:t.id ~tid:thread
+        ~args:[ ("kind", if read_only then "read" else "write") ]
+        "txn"
+    else Tspan.null_span
   in
   (* Retrospective phase spans for the committing attempt, plus the
      always-on phase histograms.  Ownership = [first acquisition issued,
@@ -517,10 +523,19 @@ let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
     end
     else begin
       let txn =
-        if read_only then Txn.create_read t.table ~thread
-        else Txn.create_write t.table ~thread
+        (* Per-thread pool: a thread runs one transaction at a time, so the
+           previous attempt's (finished) record is free for reuse. *)
+        match t.txn_free.(thread) with
+        | Some txn ->
+          t.txn_free.(thread) <- None;
+          Txn.reinit txn ~read_only ~thread;
+          txn
+        | None ->
+          if read_only then Txn.create_read t.table ~thread
+          else Txn.create_write t.table ~thread
       in
       let on_fail reason =
+        t.txn_free.(thread) <- Some txn;
         t.n_retries <- t.n_retries + 1;
         if n >= t.config.Config.max_retries then begin
           if read_only then t.n_ro_aborted <- t.n_ro_aborted + 1
@@ -559,6 +574,7 @@ let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
                    | Error reason -> fail ctx reason
                    | Ok [] ->
                      ctx.state <- `Done;
+                     t.txn_free.(thread) <- Some ctx.txn;
                      let lc_done = Engine.now t.engine in
                      if read_only then begin
                        t.n_ro_committed <- t.n_ro_committed + 1;
@@ -587,6 +603,7 @@ let run_txn ~read_only t ~thread ?(exec_us = 0.0) ~body k =
                      k Txn.Committed
                    | Ok updates ->
                      ctx.state <- `Done;
+                     t.txn_free.(thread) <- Some ctx.txn;
                      t.n_committed <- t.n_committed + 1;
                      if ctx.used_ownership then
                        t.n_txn_with_ownership <- t.n_txn_with_ownership + 1;

@@ -188,11 +188,10 @@ let run_combo ~quick (period_us, min_timeout_us) =
 let compute ~quick =
   let periods = if quick then [ 150.0; 300.0 ] else [ 100.0; 200.0; 400.0 ] in
   let floors = if quick then [ 900.0; 1_800.0 ] else [ 600.0; 1_200.0; 2_400.0 ] in
-  let combos =
-    List.concat_map
-      (fun p -> List.map (fun f -> run_combo ~quick (p, f)) floors)
-      periods
-  in
+  (* Each combo builds its own cluster from [seed], so the grid is an
+     independent sweep: farm it out (bit-identical to sequential). *)
+  let grid = List.concat_map (fun p -> List.map (fun f -> (p, f)) floors) periods in
+  let combos = Sweep.map (run_combo ~quick) grid in
   { quick; seed; combos }
 
 let last = ref None

@@ -16,6 +16,7 @@ let all : (string * string * (quick:bool -> unit)) list =
     ("transport", "batched vs unbatched reliable transport (messages/bytes/events per txn)", Transport_ab.run);
     ("faults", "Smallbank under follower/owner/directory crashes: dip + recovery time", Faults.run);
     ("detection", "heartbeat period x suspicion threshold: detection latency vs false positives", Detection.run);
+    ("perf", "simulator wall-clock harness: events/sec, GC per event, -j sweep scaling", Perf.run);
   ]
 
 let names () = List.map (fun (id, _, _) -> id) all

@@ -27,7 +27,18 @@ let issue_fn w stash node ~thread done_ =
 (* The most recent point's cluster — its hub feeds the per-phase table. *)
 let last_cluster = ref None
 
-let one_point ~quick ~nodes ~handover_frac ~remote_handover_frac =
+(* One sweep point, pure in its parameters (own cluster, own RNG streams,
+   no printing, no shared refs) so [Sweep.map] can run points on separate
+   domains with bit-identical results. *)
+type point = {
+  mtps : float;
+  committed : int;
+  final_clock_us : float;
+  events : int;
+  cluster : Cluster.t;
+}
+
+let point ~quick ~nodes ~handover_frac ~remote_handover_frac =
   let s = Exp.scale_of ~quick in
   let config = { Config.default with Config.nodes } in
   let cluster = Cluster.create ~config () in
@@ -51,45 +62,47 @@ let one_point ~quick ~nodes ~handover_frac ~remote_handover_frac =
       ~issue:(fun node ~thread ~seq:_ done_ -> issue_fn w stash node ~thread done_)
       ()
   in
-  last_cluster := Some cluster;
-  r.W.Driver.mtps
+  let eng = Cluster.engine cluster in
+  {
+    mtps = r.W.Driver.mtps;
+    committed = r.W.Driver.committed;
+    final_clock_us = Engine.now eng;
+    events = Engine.events_dispatched eng;
+    cluster;
+  }
 
 let run ~quick =
   let rng = Zeus_sim.Rng.create 7L in
-  let series =
+  (* RNG draws happen up front and sequentially; the resulting spec list
+     is then mapped (possibly across domains) by [Sweep.map]. *)
+  let specs =
     List.concat_map
       (fun nodes ->
         let remote = W.Mobility.remote_handover_fraction ~trips:5_000 ~nodes rng in
         [
-          {
-            Exp.label = Printf.sprintf "all-local ideal (%d nodes)" nodes;
-            points =
-              [
-                ( float_of_int nodes,
-                  one_point ~quick ~nodes ~handover_frac:0.025 ~remote_handover_frac:0.0
-                );
-              ];
-          };
-          {
-            Exp.label = Printf.sprintf "Zeus 2.5%% handovers (%d nodes)" nodes;
-            points =
-              [
-                ( float_of_int nodes,
-                  one_point ~quick ~nodes ~handover_frac:0.025
-                    ~remote_handover_frac:remote );
-              ];
-          };
-          {
-            Exp.label = Printf.sprintf "Zeus 5%% handovers (%d nodes)" nodes;
-            points =
-              [
-                ( float_of_int nodes,
-                  one_point ~quick ~nodes ~handover_frac:0.05
-                    ~remote_handover_frac:remote );
-              ];
-          };
+          ( Printf.sprintf "all-local ideal (%d nodes)" nodes,
+            nodes, 0.025, 0.0 );
+          ( Printf.sprintf "Zeus 2.5%% handovers (%d nodes)" nodes,
+            nodes, 0.025, remote );
+          ( Printf.sprintf "Zeus 5%% handovers (%d nodes)" nodes,
+            nodes, 0.05, remote );
         ])
       [ 3; 6 ]
+  in
+  let points =
+    Sweep.map
+      (fun (_, nodes, handover_frac, remote_handover_frac) ->
+        point ~quick ~nodes ~handover_frac ~remote_handover_frac)
+      specs
+  in
+  (match List.rev points with
+  | p :: _ -> last_cluster := Some p.cluster
+  | [] -> ());
+  let series =
+    List.map2
+      (fun (label, nodes, _, _) p ->
+        { Exp.label; points = [ (float_of_int nodes, p.mtps) ] })
+      specs points
   in
   Exp.print_figure
     {

@@ -1,6 +1,9 @@
 (** Figure 8: Smallbank throughput while varying the fraction of write
     transactions that require an ownership change, vs the FaSST- and
-    DrTM-like baselines at static (drifted-to-random) sharding. *)
+    DrTM-like baselines at static (drifted-to-random) sharding.
+
+    All points (Zeus and baseline) run through {!Sweep.map}, so [-j N]
+    spreads them across domains with bit-identical results. *)
 
 module Engine = Zeus_sim.Engine
 module Cluster = Zeus_core.Cluster
@@ -8,9 +11,6 @@ module Config = Zeus_core.Config
 module Node = Zeus_core.Node
 module W = Zeus_workload
 module B = Zeus_baseline
-
-(* The most recent Zeus point's cluster — feeds the per-phase table. *)
-let last_cluster = ref None
 
 let zeus_point ~quick ~nodes ~remote_frac =
   let s = Exp.scale_of ~quick in
@@ -37,8 +37,7 @@ let zeus_point ~quick ~nodes ~remote_frac =
   done;
   (* x-axis: % of write transactions (85 % of the mix) needing ownership *)
   let writes = 0.85 *. float_of_int r.W.Driver.committed in
-  last_cluster := Some cluster;
-  (100.0 *. float_of_int !owntxn /. Float.max 1.0 writes, r.W.Driver.mtps, r)
+  (100.0 *. float_of_int !owntxn /. Float.max 1.0 writes, r.W.Driver.mtps, r, cluster)
 
 let baseline_point ~quick ~nodes profile =
   let s = Exp.scale_of ~quick in
@@ -66,41 +65,70 @@ let run ~quick =
     if quick then [ 0.0; 0.02; 0.05 ]
     else [ 0.0; 0.005; 0.01; 0.02; 0.03; 0.05; 0.08; 0.12 ]
   in
+  (* Every point — Zeus and baseline alike — is an independent simulation,
+     so flatten them all into one [Sweep.map] and rebuild the series from
+     the ordered results afterwards (printing and the shared refs stay in
+     this sequential caller; see sweep.ml). *)
+  let tasks =
+    List.map (fun f -> `Zeus (3, f)) fracs
+    @ List.map (fun f -> `Zeus (6, f)) fracs
+    @ [
+        `Flat (3, B.Profile.fasst);
+        `Flat (6, B.Profile.fasst);
+        `Flat (3, B.Profile.drtm);
+        `Flat (6, B.Profile.drtm);
+      ]
+  in
+  let results =
+    Sweep.map
+      (function
+        | `Zeus (nodes, f) ->
+          let x, y, r, cluster = zeus_point ~quick ~nodes ~remote_frac:f in
+          `Zeus_r (x, y, r, cluster)
+        | `Flat (nodes, profile) -> `Flat_r (baseline_point ~quick ~nodes profile))
+      tasks
+  in
+  let nfracs = List.length fracs in
+  let zeus_r = List.filteri (fun i _ -> i < 2 * nfracs) results in
+  let flat_r = List.filteri (fun i _ -> i >= 2 * nfracs) results in
+  let zeus_points n =
+    List.filteri (fun i _ -> i / nfracs = n) zeus_r
+    |> List.map (function
+         | `Zeus_r (x, y, r, cluster) -> (x, y, r, cluster)
+         | `Flat_r _ -> assert false)
+  in
   let latency_notes = ref [] in
-  let zeus nodes =
+  let last_cluster = ref None in
+  let zeus idx nodes =
+    let pts = zeus_points idx in
+    List.iter2
+      (fun f (_, _, r, cluster) ->
+        last_cluster := Some cluster;
+        if f = 0.0 then
+          latency_notes :=
+            Printf.sprintf
+              "Zeus txn latency at 0%% remote (%d nodes): p50 %.1fus, p99 %.1fus"
+              nodes r.W.Driver.lat_p50_us r.W.Driver.lat_p99_us
+            :: !latency_notes)
+      fracs pts;
     {
       Exp.label = Printf.sprintf "Zeus (%d nodes)" nodes;
-      points =
-        List.map
-          (fun f ->
-            let x, y, r = zeus_point ~quick ~nodes ~remote_frac:f in
-            if f = 0.0 then
-              latency_notes :=
-                Printf.sprintf
-                  "Zeus txn latency at 0%% remote (%d nodes): p50 %.1fus, p99 %.1fus"
-                  nodes r.W.Driver.lat_p50_us r.W.Driver.lat_p99_us
-                :: !latency_notes;
-            (x, y))
-          fracs;
+      points = List.map (fun (x, y, _, _) -> (x, y)) pts;
     }
   in
-  let flat nodes profile =
-    let y = baseline_point ~quick ~nodes profile in
-    {
-      Exp.label = Printf.sprintf "%s (%d nodes, static sharding)" profile.B.Profile.name nodes;
-      points = [ (0.0, y); (30.0, y) ];
-    }
+  let flats =
+    List.map2
+      (fun (nodes, profile) r ->
+        let y = match r with `Flat_r y -> y | `Zeus_r _ -> assert false in
+        {
+          Exp.label =
+            Printf.sprintf "%s (%d nodes, static sharding)" profile.B.Profile.name nodes;
+          points = [ (0.0, y); (30.0, y) ];
+        })
+      [ (3, B.Profile.fasst); (6, B.Profile.fasst); (3, B.Profile.drtm); (6, B.Profile.drtm) ]
+      flat_r
   in
-  let series =
-    [
-      zeus 3;
-      zeus 6;
-      flat 3 B.Profile.fasst;
-      flat 6 B.Profile.fasst;
-      flat 3 B.Profile.drtm;
-      flat 6 B.Profile.drtm;
-    ]
-  in
+  let series = zeus 0 3 :: zeus 1 6 :: flats in
   Exp.print_figure
     {
       Exp.id = "fig8";

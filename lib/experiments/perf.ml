@@ -1,0 +1,198 @@
+(** Wall-clock performance harness (the perf trajectory, DESIGN.md §12).
+
+    Everything else in this directory measures {e protocol} metrics in
+    virtual time; this experiment measures the {e simulator itself} in
+    wall-clock time, since the event loop is what bounds every sweep we
+    can afford to run.  Two measurements:
+
+    - {e smallbank run}: the transport ablation's acceptance workload
+      (Smallbank, 3 nodes, default fabric, quick-scale population) run for
+      a fixed virtual duration; reported as simulator events dispatched
+      per wall-clock second plus GC allocation per event.  Repeated a few
+      times on fresh clusters, best repetition kept (wall-clock noise is
+      one-sided).  Compared against the checked-in pre-overhaul baseline
+      ([bench/perf_baseline.json]) — the perf-smoke CI gate fails on a
+      > 25 % events/sec regression;
+    - {e sweep scaling}: a fig7-style handover sweep run twice through
+      {!Sweep.map} — [-j 1] and [-j 4] — reporting the wall-clock ratio
+      and checking the per-point results are bit-identical (committed
+      counts and final virtual clocks), i.e. that parallelism never leaks
+      into simulation results. *)
+
+module Engine = Zeus_sim.Engine
+module Cluster = Zeus_core.Cluster
+module Config = Zeus_core.Config
+module Node = Zeus_core.Node
+module Jsonv = Zeus_telemetry.Jsonv
+module W = Zeus_workload
+
+type run_stats = {
+  wall_s : float;
+  events : int;
+  events_per_sec : float;
+  committed : int;
+  sim_us : float;  (** virtual time simulated in the measured window *)
+  minor_words : float;  (** GC words allocated during the run *)
+  major_words : float;
+  words_per_event : float;
+}
+
+type results = {
+  quick : bool;
+  repeats : int;
+  cores : int;  (** [Domain.recommended_domain_count] on this machine *)
+  smallbank : run_stats;
+  baseline_events_per_sec : float option;
+      (** pre-overhaul events/sec from [bench/perf_baseline.json] *)
+  speedup : float option;  (** smallbank events/sec vs that baseline *)
+  regression_ok : bool;  (** speedup >= 0.75 (or no baseline to compare) *)
+  sweep_points : int;
+  sweep_jobs : int;
+  sweep_j1_wall_s : float;
+  sweep_jn_wall_s : float;
+  sweep_speedup : float;  (** j1 wall / jN wall *)
+  sweep_identical : bool;
+      (** per-point (committed, final clock, events) identical across -j *)
+}
+
+(* ---- smallbank events/sec ---- *)
+
+let smallbank_run ~duration_us =
+  let s = Exp.scale_of ~quick:true in
+  let config = { Config.default with Config.nodes = 3 } in
+  let cluster = Cluster.create ~config () in
+  let rng = Engine.fork_rng (Cluster.engine cluster) in
+  let w =
+    W.Smallbank.create ~accounts_per_node:s.Exp.objects_per_node
+      ~nodes:config.Config.nodes ~remote_frac:0.0 rng
+  in
+  Cluster.populate_n cluster ~n:(W.Smallbank.total_keys w)
+    ~owner_of:(fun k -> W.Smallbank.home_of_key w k)
+    (fun _ -> Bytes.copy W.Smallbank.initial_value);
+  let issue node ~thread ~seq:_ done_ =
+    W.Spec.run_on_zeus node ~thread
+      (W.Smallbank.gen w ~home:(Node.id node))
+      (fun outcome -> done_ (outcome = Zeus_store.Txn.Committed))
+  in
+  let eng = Cluster.engine cluster in
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    W.Driver.run cluster ~warmup_us:s.Exp.warmup_us ~duration_us ~issue ()
+  in
+  let t1 = Unix.gettimeofday () in
+  let g1 = Gc.quick_stat () in
+  let wall_s = Float.max (t1 -. t0) 1e-9 in
+  let events = Engine.events_dispatched eng in
+  let minor = g1.Gc.minor_words -. g0.Gc.minor_words in
+  let major = g1.Gc.major_words -. g0.Gc.major_words in
+  {
+    wall_s;
+    events;
+    events_per_sec = float_of_int events /. wall_s;
+    committed = r.W.Driver.committed;
+    sim_us = Engine.now eng;
+    minor_words = minor;
+    major_words = major;
+    words_per_event =
+      (if events = 0 then 0.0 else minor /. float_of_int events);
+  }
+
+let best_smallbank ~repeats ~duration_us =
+  let best = ref (smallbank_run ~duration_us) in
+  for _ = 2 to repeats do
+    let r = smallbank_run ~duration_us in
+    if r.events_per_sec > !best.events_per_sec then best := r
+  done;
+  !best
+
+(* ---- checked-in baseline ---- *)
+
+let baseline_path = "bench/perf_baseline.json"
+
+let read_baseline () =
+  if not (Sys.file_exists baseline_path) then None
+  else
+    let ic = open_in_bin baseline_path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Jsonv.parse s with
+    | Error _ -> None
+    | Ok v ->
+      Option.bind (Jsonv.member "events_per_sec" v) Jsonv.to_float
+
+(* ---- sweep scaling ---- *)
+
+(* Four equal-cost fig7-style points: balanced work is what a [-j 4]
+   speedup measurement wants. *)
+let sweep_specs = [ 0.0; 0.1; 0.2; 0.3 ]
+
+let sweep_once ~quick ~jobs =
+  let t0 = Unix.gettimeofday () in
+  let points =
+    Sweep.map ~jobs
+      (fun remote_handover_frac ->
+        let p =
+          Fig7.point ~quick ~nodes:3 ~handover_frac:0.025 ~remote_handover_frac
+        in
+        (p.Fig7.committed, p.Fig7.final_clock_us, p.Fig7.events))
+      sweep_specs
+  in
+  (Unix.gettimeofday () -. t0, points)
+
+(* ---- experiment ---- *)
+
+let compute ~quick =
+  let repeats = if quick then 5 else 7 in
+  let duration_us = if quick then 10_000.0 else 50_000.0 in
+  let smallbank = best_smallbank ~repeats ~duration_us in
+  let baseline = read_baseline () in
+  let speedup =
+    Option.map (fun b -> smallbank.events_per_sec /. b) baseline
+  in
+  let regression_ok = match speedup with None -> true | Some s -> s >= 0.75 in
+  let sweep_jobs = 4 in
+  let j1_wall, j1_points = sweep_once ~quick ~jobs:1 in
+  let jn_wall, jn_points = sweep_once ~quick ~jobs:sweep_jobs in
+  {
+    quick;
+    repeats;
+    cores = Domain.recommended_domain_count ();
+    smallbank;
+    baseline_events_per_sec = baseline;
+    speedup;
+    regression_ok;
+    sweep_points = List.length sweep_specs;
+    sweep_jobs;
+    sweep_j1_wall_s = j1_wall;
+    sweep_jn_wall_s = jn_wall;
+    sweep_speedup = j1_wall /. Float.max jn_wall 1e-9;
+    sweep_identical = j1_points = jn_points;
+  }
+
+let last = ref None
+let last_results () = !last
+
+let run ~quick =
+  let r = compute ~quick in
+  last := Some r;
+  let f = Printf.sprintf in
+  Exp.print_kv "perf: simulator wall-clock harness"
+    [
+      ( "smallbank events/sec",
+        f "%.0f (%d events in %.3f s, best of %d)" r.smallbank.events_per_sec
+          r.smallbank.events r.smallbank.wall_s r.repeats );
+      ( "vs checked-in baseline",
+        match (r.baseline_events_per_sec, r.speedup) with
+        | Some b, Some s -> f "%.0f events/sec -> %.2fx" b s
+        | _ -> "no baseline recorded" );
+      ("committed txns", string_of_int r.smallbank.committed);
+      ( "GC minor words/event",
+        f "%.1f (%.2e minor, %.2e major)" r.smallbank.words_per_event
+          r.smallbank.minor_words r.smallbank.major_words );
+      ( "sweep wall-clock",
+        f "-j 1 %.3f s -> -j %d %.3f s (%.2fx, %d cores)" r.sweep_j1_wall_s
+          r.sweep_jobs r.sweep_jn_wall_s r.sweep_speedup r.cores );
+      ( "sweep results bit-identical",
+        if r.sweep_identical then "yes" else "NO" );
+    ]

@@ -53,14 +53,15 @@ let bytes_per_txn a = per_txn a.bytes a
 let events_per_txn a = per_txn a.events a
 
 (* The batched-Smallbank arm's cluster (the acceptance workload) — its hub
-   feeds the per-phase breakdown table. *)
+   feeds the per-phase breakdown table.  Assigned only after [compute]'s
+   sweep so the arms themselves stay sweep-pure (see sweep.ml). *)
 let phase_cluster = ref None
 
 (* Run one arm: build the cluster, install the workload, and measure the
-   fabric/engine deltas over the driver's measurement window. *)
+   fabric/engine deltas over the driver's measurement window.  Returns the
+   arm and its cluster (for the phase-breakdown table). *)
 let measure ~config ~warmup_us ~duration_us ~setup =
   let cluster = Cluster.create ~config () in
-  phase_cluster := Some cluster;
   let eng = Cluster.engine cluster in
   let fab = Cluster.fabric cluster in
   let issue = setup cluster in
@@ -93,7 +94,8 @@ let measure ~config ~warmup_us ~duration_us ~setup =
     mean_occupancy = st.Transport.mean_occupancy;
     piggybacked_acks = st.Transport.piggybacked_acks;
     standalone_acks = st.Transport.standalone_acks;
-  }
+  },
+  cluster
 
 let smallbank_setup (s : Exp.scale) cluster =
   let config = Cluster.config cluster in
@@ -155,17 +157,24 @@ let one ~quick ~batched ~setup =
     ~setup:(setup s)
 
 let compute ~quick =
-  let sb_unbatched = one ~quick ~batched:false ~setup:smallbank_setup in
-  let sb_batched = one ~quick ~batched:true ~setup:smallbank_setup in
-  let sb_cluster = !phase_cluster in
-  let ho_unbatched = one ~quick ~batched:false ~setup:handover_setup in
-  let ho_batched = one ~quick ~batched:true ~setup:handover_setup in
-  phase_cluster := sb_cluster;
-  {
-    quick;
-    smallbank = (sb_unbatched, sb_batched);
-    handover = (ho_unbatched, ho_batched);
-  }
+  (* Four independent simulations: sweep them (bit-identical to running
+     sequentially), then pick the batched-Smallbank cluster for the
+     phase-breakdown table. *)
+  let arms =
+    Sweep.map
+      (fun (batched, setup) -> one ~quick ~batched ~setup)
+      [
+        (false, smallbank_setup);
+        (true, smallbank_setup);
+        (false, handover_setup);
+        (true, handover_setup);
+      ]
+  in
+  match arms with
+  | [ (sb_u, _); (sb_b, sb_cluster); (ho_u, _); (ho_b, _) ] ->
+    phase_cluster := Some sb_cluster;
+    { quick; smallbank = (sb_u, sb_b); handover = (ho_u, ho_b) }
+  | _ -> assert false
 
 let last = ref None
 let last_results () = !last

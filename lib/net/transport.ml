@@ -70,6 +70,9 @@ type Msg.payload +=
       ack_inc : int;
     }
   | Ack_cum of { upto : int; inc : int }
+  | Ring_hole  (** filler for empty send-ring slots; never hits the wire *)
+
+let hole : Msg.payload * int = (Ring_hole, 0)
 
 (* Legacy (unbatched) per-message in-flight record. *)
 type pending = {
@@ -91,9 +94,13 @@ type flow = {
   mutable next_seq : int;
   mutable acked_upto : int;  (* cumulative: all seqs <= this are acked *)
   mutable flushed_upto : int;  (* all seqs <= this have hit the fabric once *)
-  buffer : (int, Msg.payload * int * float) Hashtbl.t;
-      (* batched: unacked window, with the enqueue timestamp so the trace
-         can report per-flow queue/batch residency *)
+  (* Batched: the unacked window lives in a power-of-two ring indexed by
+     [seq land (cap - 1)] — O(1) store per send, nothing to delete on ack
+     (advancing [acked_upto] abandons the slots), and frame assembly reuses
+     the stored (payload, size) pairs instead of re-packing a hashtable.
+     [ring_enq] holds enqueue timestamps for the trace's batch residency. *)
+  mutable ring : (Msg.payload * int) array;
+  mutable ring_enq : float array;
   inflight : (int, pending) Hashtbl.t;  (* legacy: per-message records *)
   mutable queued : bool;  (* on the source node's dirty list *)
   mutable rto_ev : Engine.event_id option;
@@ -151,7 +158,8 @@ let fresh_flow ~src ~dst =
     next_seq = 0;
     acked_upto = -1;
     flushed_upto = -1;
-    buffer = Hashtbl.create 16;
+    ring = Array.make 16 hole;
+    ring_enq = Array.make 16 0.0;
     inflight = Hashtbl.create 16;
     queued = false;
     rto_ev = None;
@@ -192,12 +200,36 @@ let set_handler t node fn = t.handlers.(node) <- Some fn
 let deliver t ~dst ~src inner =
   match t.handlers.(dst) with Some fn -> fn ~src inner | None -> ()
 
-(* Introspection for the property tests: bounded-state invariants. *)
+(* Unacked seqs currently held by the batched sender. *)
+let tx_window fl = fl.next_seq - 1 - fl.acked_upto
+
+(* Grow the ring to hold the current window.  Entries keep their slot
+   [seq land (cap - 1)], so doubling re-places every live seq. *)
+let ring_grow fl =
+  let cap = Array.length fl.ring in
+  if tx_window fl > cap then begin
+    let ncap = 2 * cap in
+    let nring = Array.make ncap hole in
+    let nenq = Array.make ncap 0.0 in
+    for s = fl.acked_upto + 1 to fl.next_seq - 1 do
+      nring.(s land (ncap - 1)) <- fl.ring.(s land (cap - 1));
+      nenq.(s land (ncap - 1)) <- fl.ring_enq.(s land (cap - 1))
+    done;
+    fl.ring <- nring;
+    fl.ring_enq <- nenq
+  end
+
+(* Introspection for the property tests: bounded-state invariants.  The
+   ring window only exists in batched mode — the legacy path tracks
+   in-flight messages individually and never advances [acked_upto]. *)
 let tx_backlog t =
   Array.fold_left
     (fun acc row ->
       Array.fold_left
-        (fun acc fl -> acc + Hashtbl.length fl.buffer + Hashtbl.length fl.inflight)
+        (fun acc fl ->
+          acc
+          + (if t.config.batching then tx_window fl else 0)
+          + Hashtbl.length fl.inflight)
         acc row)
     0 t.flows
 
@@ -251,7 +283,7 @@ let reset_tx t fl =
   cancel_rto t fl;
   Hashtbl.iter (fun _ p -> cancel_pending_timer t p) fl.inflight;
   Hashtbl.reset fl.inflight;
-  Hashtbl.reset fl.buffer;
+  Array.fill fl.ring 0 (Array.length fl.ring) hole;
   fl.tx_inc <- fl.tx_inc + 1;
   fl.next_seq <- 0;
   fl.acked_upto <- -1;
@@ -290,11 +322,19 @@ let send_window ?(retx = false) t fl ~lo ~hi =
   let rec go lo =
     if lo <= hi then begin
       let n = min t.config.max_batch (hi - lo + 1) in
-      let queued = List.init n (fun i -> Hashtbl.find fl.buffer (lo + i)) in
-      let items = List.map (fun (p, s, _) -> (p, s)) queued in
-      let size =
-        batch_header_bytes + List.fold_left (fun a (_, s) -> a + s) 0 items
-      in
+      let mask = Array.length fl.ring - 1 in
+      (* Assemble the frame straight from the ring, back to front, reusing
+         the stored (payload, size) pairs: one cons per payload, no
+         intermediate list, no lookups. *)
+      let items = ref [] in
+      let size = ref batch_header_bytes in
+      for s = lo + n - 1 downto lo do
+        let (_, sz) as item = fl.ring.(s land mask) in
+        size := !size + sz;
+        items := item :: !items
+      done;
+      let items = !items in
+      let size = !size in
       let ack = rev.watermark in
       if rev.ack_owed then begin
         rev.ack_owed <- false;
@@ -309,9 +349,12 @@ let send_window ?(retx = false) t fl ~lo ~hi =
         (* Batch residency: oldest enqueue on this flow to frame send.
            pid = sending node, tid = destination (one track per flow). *)
         let stop = Engine.now (engine t) in
-        let start =
-          List.fold_left (fun a (_, _, enq) -> Float.min a enq) stop queued
-        in
+        let start = ref stop in
+        for s = lo to lo + n - 1 do
+          let enq = fl.ring_enq.(s land mask) in
+          if enq < !start then start := enq
+        done;
+        let start = !start in
         Trace.complete t.trace ~cat:"transport" ~pid:fl.f_src ~tid:fl.f_dst
           ~start ~stop
           ~args:
@@ -333,7 +376,7 @@ let send_window ?(retx = false) t fl ~lo ~hi =
 
 let rec on_rto t fl =
   fl.rto_ev <- None;
-  if Hashtbl.length fl.buffer > 0 then begin
+  if tx_window fl > 0 then begin
     let now = Engine.now (engine t) in
     let deadline = fl.rto_progress_at +. flow_rto t fl ~retries:fl.tx_retries in
     if deadline > now +. 1e-9 then
@@ -400,7 +443,10 @@ let schedule_node_flush t node ~after =
 let send_batched t fl ~size payload =
   let seq = fl.next_seq in
   fl.next_seq <- seq + 1;
-  Hashtbl.replace fl.buffer seq (payload, size, Engine.now (engine t));
+  ring_grow fl;
+  let i = seq land (Array.length fl.ring - 1) in
+  fl.ring.(i) <- (payload, size);
+  fl.ring_enq.(i) <- Engine.now (engine t);
   if not fl.queued then begin
     fl.queued <- true;
     t.dirty.(fl.f_src) := fl :: !(t.dirty.(fl.f_src));
@@ -421,14 +467,13 @@ let flush t node =
 
 let apply_cum_ack t fl ~upto ~inc =
   if inc = fl.tx_inc && upto > fl.acked_upto then begin
-    for s = fl.acked_upto + 1 to upto do
-      Hashtbl.remove fl.buffer s
-    done;
+    (* Advancing [acked_upto] abandons the acked ring slots in place; they
+       are overwritten when their index comes around again. *)
     fl.acked_upto <- upto;
     if fl.flushed_upto < upto then fl.flushed_upto <- upto;
     fl.tx_retries <- 0;
     fl.rto_progress_at <- Engine.now (engine t);
-    if Hashtbl.length fl.buffer = 0 then cancel_rto t fl
+    if tx_window fl = 0 then cancel_rto t fl
   end
 
 (* ---------- batched receiver ---------------------------------------------- *)

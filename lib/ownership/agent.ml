@@ -458,15 +458,19 @@ let request ?(parent = Tspan.null_span) t ~key ~kind ~k =
         unblock = Some k;
         timer = None;
         o_span =
-          Tspan.start_span t.tspans ~cat:"ownership" ~pid:t.node ~parent
-            ~args:
-              [
-                ("key", string_of_int key);
-                ("kind", Format.asprintf "%a" Messages.pp_kind kind);
-                ("driver", if driver = t.node then "local" else "remote");
-                ("driver_node", string_of_int driver);
-              ]
-            "arbitration";
+          (* Guarded: the args include a [Format.asprintf], far too heavy
+             to evaluate when tracing is off. *)
+          (if Tspan.enabled t.tspans then
+             Tspan.start_span t.tspans ~cat:"ownership" ~pid:t.node ~parent
+               ~args:
+                 [
+                   ("key", string_of_int key);
+                   ("kind", Format.asprintf "%a" Messages.pp_kind kind);
+                   ("driver", if driver = t.node then "local" else "remote");
+                   ("driver_node", string_of_int driver);
+                 ]
+               "arbitration"
+           else Tspan.null_span);
       }
     in
     Hashtbl.replace t.outstanding seq o;

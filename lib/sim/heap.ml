@@ -60,6 +60,14 @@ let pop t =
     Some top
   end
 
-let clear t =
-  t.data <- [||];
+(* Capacity-preserving: pooled users (engines reused across runs) must not
+   re-grow from scratch after every drain.  Live slots are overwritten with
+   the root element so at most one popped element stays reachable. *)
+let reset t =
+  if t.size > 0 then begin
+    let dummy = t.data.(0) in
+    Array.fill t.data 0 t.size dummy
+  end;
   t.size <- 0
+
+let clear = reset

@@ -16,3 +16,9 @@ val pop : 'a t -> 'a option
 (** Remove and return the smallest element. *)
 
 val clear : 'a t -> unit
+(** Empty the heap while keeping the backing array, so a pooled heap's
+    next fill re-allocates nothing.  Alias of {!reset}. *)
+
+val reset : 'a t -> unit
+(** Capacity-preserving clear: [length] drops to 0, the backing storage
+    is retained at its high-water capacity. *)

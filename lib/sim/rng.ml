@@ -1,17 +1,26 @@
-type t = { mutable state : int64 }
+(* The 64-bit state lives in an 8-byte buffer rather than a [mutable
+   int64] record field: [Bytes.get/set_int64_le] compile to raw unboxed
+   loads and stores, so a draw allocates nothing for the state update
+   (a boxed-int64 field would re-box on every write).  The sequences are
+   bit-identical to the previous representation. *)
+type t = Bytes.t
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let mix z =
+let[@inline] mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create seed = { state = seed }
+let create seed =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 seed;
+  b
 
-let int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+let[@inline] int64 t =
+  let s = Int64.add (Bytes.get_int64_le t 0) golden_gamma in
+  Bytes.set_int64_le t 0 s;
+  mix s
 
 let split t =
   let seed = int64 t in

@@ -23,23 +23,26 @@ let percentile_of_sorted a p =
   end
 
 module Summary = struct
+  (* All-float record: OCaml stores it flat, so [add]'s field updates are
+     raw stores — a mixed record would box a fresh float per assignment,
+     and [add] runs once per histogram observation. *)
   type t = {
-    mutable count : int;
+    mutable count : float;
     mutable sum : float;
     mutable min : float;
     mutable max : float;
   }
 
-  let create () = { count = 0; sum = 0.0; min = infinity; max = neg_infinity }
+  let create () = { count = 0.0; sum = 0.0; min = infinity; max = neg_infinity }
 
   let add t v =
-    t.count <- t.count + 1;
+    t.count <- t.count +. 1.0;
     t.sum <- t.sum +. v;
     if v < t.min then t.min <- v;
     if v > t.max then t.max <- v
 
-  let count t = t.count
-  let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+  let count t = int_of_float t.count
+  let mean t = if t.count = 0.0 then nan else t.sum /. t.count
   let min t = t.min
   let max t = t.max
   let total t = t.sum
@@ -50,17 +53,18 @@ module Samples = struct
     cap : int;
     rng : Rng.t;
     mutable seen : int;
-    mutable sum : float;
+    sum : float array;  (* one cell: unboxed accumulator (a mutable float
+                           field in this mixed record would box per add) *)
     mutable data : float array;
     mutable size : int;
   }
 
   let create ?(cap = 100_000) rng =
-    { cap; rng; seen = 0; sum = 0.0; data = [||]; size = 0 }
+    { cap; rng; seen = 0; sum = [| 0.0 |]; data = [||]; size = 0 }
 
   let add t v =
     t.seen <- t.seen + 1;
-    t.sum <- t.sum +. v;
+    t.sum.(0) <- t.sum.(0) +. v;
     if t.size < t.cap then begin
       if t.size = Array.length t.data then begin
         let ncap = Stdlib.max 64 (Stdlib.min t.cap (2 * Stdlib.max 1 (Array.length t.data))) in
@@ -78,7 +82,7 @@ module Samples = struct
     end
 
   let count t = t.seen
-  let mean t = if t.seen = 0 then nan else t.sum /. float_of_int t.seen
+  let mean t = if t.seen = 0 then nan else t.sum.(0) /. float_of_int t.seen
 
   let sorted t =
     let a = Array.sub t.data 0 t.size in

@@ -18,8 +18,8 @@ type update = { key : Types.key; version : int; data : Value.t; freed : bool }
 
 type t = {
   table : Table.t;
-  thread : int;
-  read_only : bool;
+  mutable thread : int;
+  mutable read_only : bool;
   (* write txn state *)
   mutable locked : Types.key list;       (* locks taken, newest first *)
   copies : (Types.key, Value.t) Hashtbl.t;  (* private copies (open_write) *)
@@ -45,6 +45,22 @@ let create ~read_only table ~thread =
 
 let create_write table ~thread = create ~read_only:false table ~thread
 let create_read table ~thread = create ~read_only:true table ~thread
+
+(* Recycle a finished transaction in place: per-attempt state is dropped
+   but the copies table keeps its buckets, so a pooled transaction's next
+   attempt allocates nothing.  [Hashtbl.clear] (not [reset]) is the point:
+   reset would shrink the bucket array back to its initial size. *)
+let reinit t ~read_only ~thread =
+  assert (t.finished || (t.locked = [] && t.snapshots = []));
+  t.thread <- thread;
+  t.read_only <- read_only;
+  t.locked <- [];
+  Hashtbl.clear t.copies;
+  t.creates <- [];
+  t.frees <- [];
+  t.snapshots <- [];
+  t.finished <- false
+
 let is_read_only t = t.read_only
 let thread t = t.thread
 
@@ -61,7 +77,7 @@ let abort t =
   if not t.finished then begin
     t.finished <- true;
     release_locks t;
-    Hashtbl.reset t.copies
+    Hashtbl.clear t.copies
   end
 
 let fail t reason =
@@ -69,14 +85,19 @@ let fail t reason =
   Error reason
 
 let take_lock t obj =
-  let key = obj.Obj.key in
-  if List.mem key t.locked then Ok ()
-  else if Obj.can_lock obj ~thread:t.thread then begin
-    Obj.lock obj ~thread:t.thread;
-    t.locked <- key :: t.locked;
-    Ok ()
-  end
-  else Error (Lock_conflict key)
+  (* Already-locked check is O(1) on the object itself: local locks are
+     strictly per-thread and released at commit/abort, so [lock_thread =
+     this thread] can only mean this very transaction took it (and already
+     pushed the key onto [locked] for release). *)
+  match obj.Obj.lock_thread with
+  | Some th when th = t.thread -> Ok ()
+  | _ ->
+    if Obj.can_lock obj ~thread:t.thread then begin
+      Obj.lock obj ~thread:t.thread;
+      t.locked <- obj.Obj.key :: t.locked;
+      Ok ()
+    end
+    else Error (Lock_conflict obj.Obj.key)
 
 let created_value t key =
   List.assoc_opt key t.creates
@@ -162,23 +183,21 @@ let written t key =
   Hashtbl.mem t.copies key || List.mem_assoc key t.creates || List.mem key t.frees
 
 let commit_read_only t =
-  let ok =
-    List.for_all
-      (fun (key, version) ->
-        match Table.find t.table key with
-        | Some obj ->
-          obj.Obj.t_state = Types.T_valid && obj.Obj.t_version = version
-        | None -> false)
-      t.snapshots
+  (* Single validation pass that remembers WHICH snapshot failed: the
+     abort reason names the actual invalidated key, not whatever happened
+     to sit at the head of the snapshot list. *)
+  let rec validate = function
+    | [] ->
+      t.finished <- true;
+      Ok []
+    | (key, version) :: rest -> (
+      match Table.find t.table key with
+      | Some obj when obj.Obj.t_state = Types.T_valid && obj.Obj.t_version = version
+        ->
+        validate rest
+      | Some _ | None -> fail t (Invalidated key))
   in
-  if ok then begin
-    t.finished <- true;
-    Ok []
-  end
-  else begin
-    let key = match t.snapshots with (k, _) :: _ -> k | [] -> -1 in
-    fail t (Invalidated key)
-  end
+  validate t.snapshots
 
 let publish t obj data ~freed =
   obj.Obj.data <- data;

@@ -29,6 +29,14 @@ type t
 
 val create_write : Table.t -> thread:int -> t
 val create_read : Table.t -> thread:int -> t
+
+val reinit : t -> read_only:bool -> thread:int -> unit
+(** Recycle a {e finished} (committed or aborted) transaction for a fresh
+    attempt on the same table.  All per-attempt state is dropped; the
+    private-copy table keeps its bucket array, so a pooled transaction's
+    steady state allocates nothing per attempt.  Callers pool per thread —
+    a transaction must never be shared across threads. *)
+
 val is_read_only : t -> bool
 val thread : t -> int
 

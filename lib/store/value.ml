@@ -22,10 +22,9 @@ let to_int b =
   | [] -> invalid_arg "Value.to_int: empty value"
 
 let padded fields ~size =
-  let base = of_ints fields in
-  let len = max size (Bytes.length base) in
+  let len = max size (8 * List.length fields) in
   let b = Bytes.make len '\000' in
-  Bytes.blit base 0 b 0 (Bytes.length base);
+  List.iteri (fun i v -> Bytes.set_int64_le b (8 * i) (Int64.of_int v)) fields;
   b
 
 let size = Bytes.length

@@ -35,6 +35,58 @@ let locality_runs () =
   check Alcotest.bool "locality" true
     (Zeus_experiments.Experiments.run_one ~quick:true "locality")
 
+(* ---------- Sweep: domain-parallel maps ---------- *)
+
+let sweep_map_order () =
+  let xs = List.init 37 (fun i -> i) in
+  let sq = Zeus_experiments.Sweep.map ~jobs:1 (fun x -> x * x) xs in
+  let par = Zeus_experiments.Sweep.map ~jobs:4 (fun x -> x * x) xs in
+  check Alcotest.(list int) "in input order" sq par;
+  check Alcotest.(list int) "correct" (List.map (fun x -> x * x) xs) par
+
+(* One tiny Smallbank simulation per point: each builds its own cluster, so
+   [-j 1] and [-j 4] must produce identical committed/abort/event counts. *)
+let mini_point remote_frac =
+  let module Engine = Zeus_sim.Engine in
+  let module Cluster = Zeus_core.Cluster in
+  let module Config = Zeus_core.Config in
+  let module Node = Zeus_core.Node in
+  let module W = Zeus_workload in
+  let config = { Config.default with Config.nodes = 3 } in
+  let cluster = Cluster.create ~config () in
+  let rng = Engine.fork_rng (Cluster.engine cluster) in
+  let w = W.Smallbank.create ~accounts_per_node:200 ~nodes:3 ~remote_frac rng in
+  Cluster.populate_n cluster ~n:(W.Smallbank.total_keys w)
+    ~owner_of:(fun k -> W.Smallbank.home_of_key w k)
+    (fun _ -> Bytes.copy W.Smallbank.initial_value);
+  let r =
+    W.Driver.run cluster ~warmup_us:200.0 ~duration_us:1_500.0
+      ~issue:(fun node ~thread ~seq:_ done_ ->
+        W.Spec.run_on_zeus node ~thread
+          (W.Smallbank.gen w ~home:(Node.id node))
+          (fun outcome -> done_ (outcome = Zeus_store.Txn.Committed)))
+      ()
+  in
+  ( r.W.Driver.committed,
+    r.W.Driver.aborted,
+    Engine.events_dispatched (Cluster.engine cluster) )
+
+let sweep_deterministic () =
+  let fracs = [ 0.0; 0.1; 0.2; 0.3 ] in
+  let j1 = Zeus_experiments.Sweep.map ~jobs:1 mini_point fracs in
+  let j4 = Zeus_experiments.Sweep.map ~jobs:4 mini_point fracs in
+  check
+    Alcotest.(list (triple int int int))
+    "-j1 and -j4 bit-identical" j1 j4;
+  List.iter (fun (c, _, _) -> check Alcotest.bool "work happened" true (c > 0)) j1
+
+let sweep_global_jobs () =
+  Zeus_experiments.Sweep.set_jobs 3;
+  let got = Zeus_experiments.Sweep.get_jobs () in
+  Zeus_experiments.Sweep.set_jobs 1;
+  check Alcotest.int "set/get" 3 got;
+  check Alcotest.int "clamped at 1" 1 (Zeus_experiments.Sweep.get_jobs ())
+
 let suite =
   [
     tc "registry: all paper artifacts present" registry_ids;
@@ -42,4 +94,7 @@ let suite =
     tc "scales: quick < full" scales;
     tc "table2 runs" table2_runs;
     tc "locality analysis runs" locality_runs;
+    tc "sweep: map preserves order across domains" sweep_map_order;
+    tc "sweep: -j1 vs -j4 bit-identical simulations" sweep_deterministic;
+    tc "sweep: global job knob" sweep_global_jobs;
   ]

@@ -119,6 +119,84 @@ let heap_interleaved () =
   check Alcotest.(option int) "empty" None (Heap.pop h);
   check Alcotest.bool "is_empty" true (Heap.is_empty h)
 
+(* ---------- engine event heap (specialized heap: qcheck properties) ----- *)
+
+(* Schedule a batch of random delays; dispatch order must equal a stable
+   sort by time — the engine's (time, seq) heap key makes equal-time events
+   fire in scheduling order. *)
+let engine_heap_order_qcheck =
+  QCheck.Test.make ~name:"engine: dispatch order is stable time sort" ~count:200
+    QCheck.(list (int_bound 50))
+    (fun delays ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i d ->
+          let after = float_of_int d in
+          ignore (Engine.schedule e ~after (fun () -> fired := (d, i) :: !fired)))
+        delays;
+      Engine.run e;
+      let expect =
+        List.stable_sort
+          (fun (d1, _) (d2, _) -> compare d1 d2)
+          (List.mapi (fun i d -> (d, i)) delays)
+      in
+      List.rev !fired = expect)
+
+(* Equal-time events keep scheduling order even through interleaved pops:
+   everything fires at the same instant, so the dispatch log is exactly the
+   scheduling sequence. *)
+let engine_heap_fifo_qcheck =
+  QCheck.Test.make ~name:"engine: equal-time FIFO under load" ~count:100
+    QCheck.(int_range 1 200)
+    (fun n ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      for i = 0 to n - 1 do
+        ignore (Engine.schedule e ~after:1.0 (fun () -> fired := i :: !fired))
+      done;
+      Engine.run e;
+      List.rev !fired = List.init n (fun i -> i))
+
+(* Cancel a random subset, run: only survivors fire, in stable time order,
+   and the queue reports empty.  Large cancelled fractions also push the
+   engine through its eager-compaction path. *)
+let engine_cancel_qcheck =
+  QCheck.Test.make ~name:"engine: cancel-then-run fires exactly survivors" ~count:200
+    QCheck.(list (pair (int_bound 50) bool))
+    (fun spec ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      let ids =
+        List.mapi
+          (fun i (d, _) ->
+            Engine.schedule e ~after:(float_of_int d) (fun () -> fired := (d, i) :: !fired))
+          spec
+      in
+      List.iteri (fun i (_, keep) -> if not keep then Engine.cancel e (List.nth ids i)) spec;
+      Engine.run e;
+      let expect =
+        List.stable_sort
+          (fun (d1, _) (d2, _) -> compare d1 d2)
+          (List.filteri (fun i _ -> snd (List.nth spec i)) (List.mapi (fun i (d, _) -> (d, i)) spec))
+      in
+      List.rev !fired = expect && Engine.pending e = 0)
+
+(* Mass cancellation forces the heap's eager compaction (stale > live);
+   survivors must still dispatch correctly afterwards. *)
+let engine_compaction () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let ids =
+    List.init 1000 (fun i ->
+        Engine.schedule e ~after:(float_of_int (i mod 97)) (fun () -> incr fired))
+  in
+  List.iteri (fun i id -> if i mod 10 <> 0 then Engine.cancel e id) ids;
+  check Alcotest.int "pending survivors" 100 (Engine.pending e);
+  Engine.run e;
+  check Alcotest.int "fired survivors" 100 !fired;
+  check Alcotest.int "drained" 0 (Engine.pending e)
+
 (* ---------- engine ---------- *)
 
 let engine_time_order () =
@@ -288,6 +366,10 @@ let suite =
     tc "heap: interleaved push/pop" heap_interleaved;
     QCheck_alcotest.to_alcotest heap_qcheck;
     tc "engine: time order" engine_time_order;
+    QCheck_alcotest.to_alcotest engine_heap_order_qcheck;
+    QCheck_alcotest.to_alcotest engine_heap_fifo_qcheck;
+    QCheck_alcotest.to_alcotest engine_cancel_qcheck;
+    tc "engine: compaction after mass cancel" engine_compaction;
     tc "engine: FIFO at equal times" engine_fifo_same_time;
     tc "engine: cancel" engine_cancel;
     tc "engine: run until bound" engine_until;
