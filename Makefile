@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-quick bench-smoke chaos-smoke detect-smoke trace-smoke perf-smoke perf-baseline clean
+.PHONY: all build test check bench bench-quick bench-smoke chaos-smoke detect-smoke trace-smoke perf-smoke model-smoke perf-baseline clean
 
 all: build
 
@@ -94,6 +94,19 @@ perf-smoke: build
 	  echo "perf-smoke: -j1 and -jN sweeps diverged (parallelism leaked into results)" >&2; exit 1; fi
 	@echo "perf-smoke: BENCH_perf.json OK"
 
+# Bounded model check of the REAL sans-I/O protocol cores (ownership and
+# commit), driven through Explorer.bfs: interleavings, duplication, crash +
+# arb-replay/commit-replay, plus a negative control that reproduces the
+# known reordering deadlock on non-FIFO links.  The subcommand exits
+# non-zero on any invariant violation or a suspiciously small state space;
+# per-scenario explored-state counts land in the log.
+model-smoke: build
+	rm -f model-smoke.log
+	dune exec bin/zeus_cli.exe -- model --quick > model-smoke.log 2>&1 || { cat model-smoke.log >&2; exit 1; }
+	@cat model-smoke.log
+	@grep -q "states explored across" model-smoke.log || { echo "model-smoke: no state-count summary in output" >&2; exit 1; }
+	@echo "model-smoke: real-core exploration OK"
+
 # Re-capture the wall-clock reference on this machine: run the perf harness
 # and copy its best smallbank events/sec into bench/perf_baseline.json.
 # Use when the reference hardware changes — the baseline is machine-bound.
@@ -108,4 +121,4 @@ perf-baseline: build
 
 clean:
 	dune clean
-	rm -f BENCH_locality.json BENCH_transport.json BENCH_faults.json BENCH_detection.json BENCH_perf.json trace.json
+	rm -f BENCH_locality.json BENCH_transport.json BENCH_faults.json BENCH_detection.json BENCH_perf.json trace.json model-smoke.log

@@ -1,4 +1,8 @@
-module Engine = Zeus_sim.Engine
+(* Thin interpreter over {!Core}: samples the environment, feeds inputs,
+   and executes the returned effects against the real engine — transport
+   sends, store transforms, telemetry, the caller's durability
+   continuation.  All protocol logic lives in the sans-I/O core. *)
+
 module Metrics = Zeus_telemetry.Metrics
 module Tspan = Zeus_telemetry.Trace
 module Hub = Zeus_telemetry.Hub
@@ -6,65 +10,28 @@ module Transport = Zeus_net.Transport
 module Service = Zeus_membership.Service
 module View = Zeus_membership.View
 open Zeus_store
-open Messages
 
 type callbacks = {
   on_freed : Types.key -> unit;
   recovery_drained : epoch:int -> unit;
 }
 
-(* Coordinator-side in-flight slot. *)
-type slot_state = {
-  s_tx : tx_id;
-  s_writes : Txn.update list;
-  s_followers : Types.node_id list;
-  mutable s_missing : Types.node_id list;
-  mutable s_extra_vals : Types.node_id list;
-      (* partial-stream followers of the next slot to include in this
-         slot's R-VAL broadcast (§5.2) *)
-  s_on_durable : (unit -> unit) option;
-  s_span : Tspan.span;  (* replication round-trip: R-INV out to all ACKs in *)
-}
-
-type pipeline = { mutable next_slot : int; slots : (int, slot_state) Hashtbl.t }
-
-(* Follower-side record of an applied R-INV, held for replay until R-VAL. *)
-type stored_inv = {
-  i_tx : tx_id;
-  i_followers : Types.node_id list;
-  i_writes : Txn.update list;
-}
-
-type buffered_inv = {
-  b_followers : Types.node_id list;
-  b_writes : Txn.update list;
-  b_src : Types.node_id;
-}
-
-type follower_pipe = {
-  mutable cleared_upto : int;
-      (* all slots <= this are applied here or validated by the coordinator *)
-  stored : (int, stored_inv) Hashtbl.t;
-  buffered : (int, buffered_inv) Hashtbl.t;
-}
-
 type t = {
+  core : Core.state;
   node : Types.node_id;
   table : Table.t;
   membership : Service.t;
   cb : callbacks;
   transport : Transport.t;
-  engine : Engine.t;
-  pipelines : (int, pipeline) Hashtbl.t;  (* by thread *)
-  follower_pipes : (pipe_id, follower_pipe) Hashtbl.t;
-  replaying : (tx_id, slot_state) Hashtbl.t;
-  mutable prev_live : bool array;
-  mutable recovering_epoch : int option;
+  durables : (int * int, unit -> unit) Hashtbl.t;  (* (thread, slot) *)
+  spans : (int, Tspan.span) Hashtbl.t;  (* span token -> live span *)
+  mutable span_parent : Tspan.span;
   metrics : Metrics.t;
   tspans : Tspan.t;
   c_started : Metrics.Counter.h;
   c_durable : Metrics.Counter.h;
   c_replays : Metrics.Counter.h;
+  mutable io_tap : (Core.input -> Core.eff list -> unit) option;
 }
 
 let node t = t.node
@@ -72,43 +39,25 @@ let commits_started t = Metrics.Counter.get t.c_started
 let commits_durable t = Metrics.Counter.get t.c_durable
 let replays_started t = Metrics.Counter.get t.c_replays
 let metrics t = t.metrics
+let inflight t = Core.inflight t.core
+let stored_invs t = Core.stored_invs t.core
+let set_io_tap t f = t.io_tap <- Some f
+let core_fingerprint t = Core.fingerprint t.core
 
-let epoch t = Service.epoch_at t.membership t.node
-let view t = Service.node_view t.membership t.node
-let live t n = View.is_live (view t) n
-let send t ~dst ?size payload = Transport.send t.transport ~src:t.node ~dst ?size payload
+(* ---------- runtime sampling --------------------------------------------- *)
 
-(* Reliable-commit traffic (R-INV broadcasts, the ACK/VAL replies) is a
-   natural batch AND off the application's critical path: the caller's
-   commit callback fires at local commit (§5.2), so replication latency is
-   hidden by pipelining.  It therefore rides the transport's full flush
-   window — bursts from nearby activations coalesce into one frame per
-   follower — and the doorbell is rung only where extra delay could stall
-   recovery (replays on a view change). *)
-let doorbell t = Transport.flush t.transport t.node
+let env t =
+  {
+    Core.epoch = Service.epoch_at t.membership t.node;
+    live = (Service.node_view t.membership t.node).View.live;
+    trace_on = Tspan.enabled t.tspans;
+  }
 
-let inflight t =
-  Hashtbl.fold (fun _ p acc -> acc + Hashtbl.length p.slots) t.pipelines 0
-
-let stored_invs t =
-  Hashtbl.fold (fun _ fp acc -> acc + Hashtbl.length fp.stored) t.follower_pipes 0
-
-let writes_size writes =
-  List.fold_left (fun acc (u : Txn.update) -> acc + Value.size u.data + 16) 64 writes
-
-(* ---------- coordinator -------------------------------------------------- *)
-
-let get_pipe t thread =
-  match Hashtbl.find_opt t.pipelines thread with
-  | Some p -> p
-  | None ->
-    let p = { next_slot = 0; slots = Hashtbl.create 32 } in
-    Hashtbl.replace t.pipelines thread p;
-    p
+(* ---------- effect execution --------------------------------------------- *)
 
 (* Reliably committed: validate unchanged objects locally, finish freed
    ones, and release the pipelining guard ([pending_rc]). *)
-let validate_local t (s : slot_state) =
+let validate_local t writes =
   List.iter
     (fun (u : Txn.update) ->
       match Table.find t.table u.key with
@@ -122,123 +71,7 @@ let validate_local t (s : slot_state) =
           else obj.Obj.t_state <- Types.T_valid
         end
       | None -> ())
-    s.s_writes;
-  Metrics.Counter.incr t.c_durable;
-  match s.s_on_durable with Some k -> k () | None -> ()
-
-let finish_slot t pipe (s : slot_state) =
-  Hashtbl.remove pipe.slots s.s_tx.slot;
-  Tspan.finish t.tspans s.s_span;
-  validate_local t s;
-  let recipients =
-    List.filter (fun n -> live t n) (s.s_followers @ s.s_extra_vals)
-  in
-  List.iter (fun f -> send t ~dst:f ~size:32 (R_val { tx = s.s_tx })) recipients
-
-let commit ?(parent = Tspan.null_span) t ~thread ~updates ?on_durable () =
-  Metrics.Counter.incr t.c_started;
-  let pipe = get_pipe t thread in
-  let slot = pipe.next_slot in
-  pipe.next_slot <- slot + 1;
-  let tx = { pipe = { node = t.node; thread }; slot } in
-  let followers =
-    List.fold_left
-      (fun acc (u : Txn.update) ->
-        match Table.find t.table u.key with
-        | Some obj -> (
-          match obj.Obj.o_replicas with
-          | Some r ->
-            List.fold_left
-              (fun acc n -> if n = t.node || List.mem n acc then acc else n :: acc)
-              acc (Replicas.all r)
-          | None -> acc)
-        | None -> acc)
-      [] updates
-  in
-  let followers = List.filter (fun f -> live t f) followers in
-  if followers = [] then begin
-    (* Replication degree 1 (or all backups dead): durable immediately. *)
-    let s =
-      {
-        s_tx = tx;
-        s_writes = updates;
-        s_followers = [];
-        s_missing = [];
-        s_extra_vals = [];
-        s_on_durable = on_durable;
-        s_span = Tspan.null_span;
-      }
-    in
-    validate_local t s
-  end
-  else begin
-    let s =
-      {
-        s_tx = tx;
-        s_writes = updates;
-        s_followers = followers;
-        s_missing = followers;
-        s_extra_vals = [];
-        s_on_durable = on_durable;
-        s_span =
-          (* Guarded so the args (three string_of_int) are only built when
-             tracing is live — this runs once per write commit. *)
-          (if Tspan.enabled t.tspans then
-             Tspan.start_span t.tspans ~cat:"commit" ~pid:t.node ~tid:thread
-               ~parent
-               ~args:
-                 [
-                   ("slot", string_of_int slot);
-                   ("followers", string_of_int (List.length followers));
-                   ("writes", string_of_int (List.length updates));
-                 ]
-               "replication_ack"
-           else Tspan.null_span);
-      }
-    in
-    Hashtbl.replace pipe.slots slot s;
-    let prev = Hashtbl.find_opt pipe.slots (slot - 1) in
-    let e = epoch t in
-    let size = writes_size updates in
-    List.iter
-      (fun f ->
-        let prev_val =
-          match prev with
-          | None -> true (* previous slot already validated (or none) *)
-          | Some ps ->
-            (* A partial-stream follower (§5.2): it will not see slot-1's
-               R-INV, so include it in slot-1's R-VAL broadcast. *)
-            if not (List.mem f ps.s_followers || List.mem f ps.s_extra_vals) then
-              ps.s_extra_vals <- f :: ps.s_extra_vals;
-            false
-        in
-        send t ~dst:f ~size
-          (R_inv { tx; epoch = e; followers; writes = updates; prev_val; replay = false }))
-      followers
-  end
-
-(* ---------- follower ------------------------------------------------------ *)
-
-let get_follower_pipe t pipe_id =
-  match Hashtbl.find_opt t.follower_pipes pipe_id with
-  | Some fp -> fp
-  | None ->
-    let fp = { cleared_upto = -1; stored = Hashtbl.create 32; buffered = Hashtbl.create 8 } in
-    Hashtbl.replace t.follower_pipes pipe_id fp;
-    fp
-
-let dead_stored_count t =
-  Hashtbl.fold
-    (fun (pid : pipe_id) fp acc ->
-      if live t pid.node then acc else acc + Hashtbl.length fp.stored)
-    t.follower_pipes 0
-
-let check_drained t =
-  match t.recovering_epoch with
-  | Some e when dead_stored_count t = 0 ->
-    t.recovering_epoch <- None;
-    t.cb.recovery_drained ~epoch:e
-  | Some _ | None -> ()
+    writes
 
 (* Apply the writes of an R-INV version-monotonically (§5.1).  Receiving an
    R-INV for an object we do not store means the coordinator just made us a
@@ -263,8 +96,8 @@ let apply_writes t ~install writes =
     writes
 
 (* An R-VAL (or equivalent) for a stored R-INV: validate objects whose
-   version is unchanged, complete frees, discard the stored record. *)
-let validate_stored t fp slot (si : stored_inv) =
+   version is unchanged, complete frees. *)
+let validate_stored t writes =
   List.iter
     (fun (u : Txn.update) ->
       match Table.find t.table u.key with
@@ -274,292 +107,123 @@ let validate_stored t fp slot (si : stored_inv) =
           else if obj.Obj.t_state = Types.T_invalid then obj.Obj.t_state <- Types.T_valid
         end
       | None -> ())
-    si.i_writes;
-  Hashtbl.remove fp.stored slot;
-  check_drained t
+    writes
 
-let rec drain_buffered t pipe_id fp =
-  let next = fp.cleared_upto + 1 in
-  match Hashtbl.find_opt fp.buffered next with
-  | Some b ->
-    Hashtbl.remove fp.buffered next;
-    apply_slot t pipe_id fp ~slot:next ~followers:b.b_followers ~writes:b.b_writes
-      ~src:b.b_src ~install:true;
-    drain_buffered t pipe_id fp
-  | None -> ()
-
-and apply_slot t pipe_id fp ~slot ~followers ~writes ~src ~install =
-  apply_writes t ~install writes;
-  Hashtbl.replace fp.stored slot
-    { i_tx = { pipe = pipe_id; slot }; i_followers = followers; i_writes = writes };
-  if slot > fp.cleared_upto then fp.cleared_upto <- slot;
-  send t ~dst:src ~size:32 (R_ack { tx = { pipe = pipe_id; slot }; sender = t.node })
-
-let handle_inv t ~src ~tx ~followers ~writes ~prev_val ~replay =
-  let fp = get_follower_pipe t tx.pipe in
-  if Hashtbl.mem fp.stored tx.slot || tx.slot <= fp.cleared_upto then
-    (* Duplicate (e.g. retransmission or concurrent replays): re-ACK. *)
-    send t ~dst:src ~size:32 (R_ack { tx; sender = t.node })
-  else begin
-    if prev_val && tx.slot - 1 > fp.cleared_upto then fp.cleared_upto <- tx.slot - 1;
-    if replay || fp.cleared_upto >= tx.slot - 1 then begin
-      apply_slot t tx.pipe fp ~slot:tx.slot ~followers ~writes ~src ~install:(not replay);
-      drain_buffered t tx.pipe fp
-    end
-    else
-      (* Out of pipeline order: hold until the previous slot clears. *)
-      Hashtbl.replace fp.buffered tx.slot
-        { b_followers = followers; b_writes = writes; b_src = src }
-  end
-
-let handle_val t ~tx =
-  match Hashtbl.find_opt t.follower_pipes tx.pipe with
-  | None -> ()
-  | Some fp ->
-    (match Hashtbl.find_opt fp.stored tx.slot with
-    | Some si -> validate_stored t fp tx.slot si
-    | None -> ());
-    if tx.slot > fp.cleared_upto then begin
-      fp.cleared_upto <- tx.slot;
-      drain_buffered t tx.pipe fp
-    end
-
-(* ---------- replay after a coordinator crash (§5.1) ---------------------- *)
-
-let finish_replay t (s : slot_state) =
-  Hashtbl.remove t.replaying s.s_tx;
-  (* Validate our own stored copy, then R-VAL the other followers. *)
-  (match Hashtbl.find_opt t.follower_pipes s.s_tx.pipe with
-  | Some fp -> (
-    match Hashtbl.find_opt fp.stored s.s_tx.slot with
-    | Some si -> validate_stored t fp s.s_tx.slot si
-    | None -> ())
-  | None -> ());
-  List.iter (fun f -> send t ~dst:f ~size:32 (R_val { tx = s.s_tx })) s.s_followers
-
-let start_replay t (si : stored_inv) =
-  if not (Hashtbl.mem t.replaying si.i_tx) then begin
-    Metrics.Counter.incr t.c_replays;
-    let others = List.filter (fun f -> f <> t.node && live t f) si.i_followers in
-    let s =
-      {
-        s_tx = si.i_tx;
-        s_writes = si.i_writes;
-        s_followers = others;
-        s_missing = others;
-        s_extra_vals = [];
-        s_on_durable = None;
-        s_span = Tspan.null_span;
-      }
+let exec_telemetry t = function
+  | Core.Count C_started -> Metrics.Counter.incr t.c_started
+  | Core.Count C_durable -> Metrics.Counter.incr t.c_durable
+  | Core.Count C_replays -> Metrics.Counter.incr t.c_replays
+  | Core.Span_start { token; thread; slot; followers; writes } ->
+    let span =
+      Tspan.start_span t.tspans ~cat:"commit" ~pid:t.node ~tid:thread
+        ~parent:t.span_parent
+        ~args:
+          [
+            ("slot", string_of_int slot);
+            ("followers", string_of_int followers);
+            ("writes", string_of_int writes);
+          ]
+        "replication_ack"
     in
-    if others = [] then finish_replay t s
-    else begin
-      Hashtbl.replace t.replaying si.i_tx s;
-      let e = epoch t in
-      let size = writes_size si.i_writes in
-      List.iter
-        (fun f ->
-          send t ~dst:f ~size
-            (R_inv
-               {
-                 tx = si.i_tx;
-                 epoch = e;
-                 followers = si.i_followers;
-                 writes = si.i_writes;
-                 prev_val = false;
-                 replay = true;
-               }))
-        others
-    end
-  end
+    Hashtbl.replace t.spans token span
+  | Core.Span_finish token -> (
+    match Hashtbl.find_opt t.spans token with
+    | Some span ->
+      Hashtbl.remove t.spans token;
+      Tspan.finish t.tspans span
+    | None -> ())
 
-let handle_ack t ~tx ~sender =
-  if tx.pipe.node = t.node then begin
-    match Hashtbl.find_opt t.pipelines tx.pipe.thread with
-    | None -> ()
-    | Some pipe -> (
-      match Hashtbl.find_opt pipe.slots tx.slot with
-      | None -> ()
-      | Some s ->
-        s.s_missing <- List.filter (fun f -> f <> sender) s.s_missing;
-        if s.s_missing = [] then finish_slot t pipe s)
-  end
-  else begin
-    match Hashtbl.find_opt t.replaying tx with
-    | None -> ()
-    | Some s ->
-      s.s_missing <- List.filter (fun f -> f <> sender) s.s_missing;
-      if s.s_missing = [] then finish_replay t s
-  end
+let exec_eff t = function
+  | Core.Send { dst; size; payload } ->
+    Transport.send t.transport ~src:t.node ~dst ~size payload
+  | Core.Flush ->
+    (* Reliable-commit traffic is a natural batch AND off the application's
+       critical path, so it rides the transport's full flush window; the
+       core rings the doorbell only where extra delay could stall recovery
+       (replays on a view change). *)
+    Transport.flush t.transport t.node
+  | Core.Validate_local { writes } -> validate_local t writes
+  | Core.Apply_writes { install; writes } -> apply_writes t ~install writes
+  | Core.Validate_stored { writes } -> validate_stored t writes
+  | Core.Durable { tx } -> (
+    let key = (tx.Messages.pipe.thread, tx.Messages.slot) in
+    match Hashtbl.find_opt t.durables key with
+    | Some k ->
+      Hashtbl.remove t.durables key;
+      k ()
+    | None -> ())
+  | Core.Drained { epoch } -> t.cb.recovery_drained ~epoch
+  | Core.Telemetry tele -> exec_telemetry t tele
 
-(* ---------- membership --------------------------------------------------- *)
+let feed t input =
+  let _, effs = Core.handle t.core input in
+  (match t.io_tap with Some f -> f input effs | None -> ());
+  List.iter (exec_eff t) effs
 
-let on_view_change t (v : View.t) =
-  let died = ref [] and revived = ref [] in
-  Array.iteri
-    (fun i was ->
-      if was && not (View.is_live v i) then died := i :: !died
-      else if (not was) && View.is_live v i then revived := i :: !revived)
-    t.prev_live;
-  t.prev_live <- Array.copy v.View.live;
-  (* A rejoined node is a fresh incarnation: its pipelines restart at slot
-     zero, so any stale follower-side pipe state must go. *)
-  List.iter
-    (fun node ->
-      let stale =
-        Hashtbl.fold
-          (fun (pid : pipe_id) _ acc -> if pid.node = node then pid :: acc else acc)
-          t.follower_pipes []
-      in
-      List.iter (Hashtbl.remove t.follower_pipes) stale)
-    !revived;
-  if !died <> [] then begin
-    let alive n = View.is_live v n in
-    (* Coordinator side: dead followers can never ack. *)
-    Hashtbl.iter
-      (fun _ pipe ->
-        let slots = Hashtbl.fold (fun _ s acc -> s :: acc) pipe.slots [] in
-        List.iter
-          (fun s ->
-            s.s_missing <- List.filter alive s.s_missing;
-            if s.s_missing = [] then finish_slot t pipe s)
-          slots)
-      t.pipelines;
-    (* Replayer side likewise. *)
-    let replays = Hashtbl.fold (fun _ s acc -> s :: acc) t.replaying [] in
-    List.iter
-      (fun s ->
-        s.s_missing <- List.filter alive s.s_missing;
-        if s.s_missing = [] then finish_replay t s)
-      replays;
-    (* Follower side: discard unappliable buffers of dead pipes and replay
-       every applied R-INV of a dead coordinator (§5.1). *)
-    t.recovering_epoch <- Some v.View.epoch;
-    Hashtbl.iter
-      (fun (pid : pipe_id) fp ->
-        if not (alive pid.node) then begin
-          Hashtbl.reset fp.buffered;
-          Hashtbl.iter (fun _ si -> start_replay t si) fp.stored
-        end)
-      t.follower_pipes;
-    check_drained t
-  end;
-  (* The epoch just bumped.  Any R-INV of a still-open slot (or replay) may
-     have been sent under the old epoch and fenced off by a follower that
-     installed this view first; the transport is reliable, so nothing below
-     us retries.  Re-drive the missing followers at the new epoch —
-     followers that did apply the original take the duplicate path and
-     simply re-ACK.  (Found via the detected-mode fault experiment: one
-     fenced R-INV left a commit waiting forever for its ACK, holding the
-     written keys busy against every ownership arb-replay.) *)
-  let e = v.View.epoch in
-  Hashtbl.iter
-    (fun _ pipe ->
-      Hashtbl.iter
-        (fun _ (s : slot_state) ->
-          let size = writes_size s.s_writes in
-          List.iter
-            (fun f ->
-              if View.is_live v f then begin
-                let prev_val =
-                  match Hashtbl.find_opt pipe.slots (s.s_tx.slot - 1) with
-                  | None -> true
-                  | Some ps ->
-                    if not (List.mem f ps.s_followers || List.mem f ps.s_extra_vals)
-                    then ps.s_extra_vals <- f :: ps.s_extra_vals;
-                    false
-                in
-                send t ~dst:f ~size
-                  (R_inv
-                     {
-                       tx = s.s_tx;
-                       epoch = e;
-                       followers = s.s_followers;
-                       writes = s.s_writes;
-                       prev_val;
-                       replay = false;
-                     })
-              end)
-            s.s_missing)
-        pipe.slots)
-    t.pipelines;
-  Hashtbl.iter
-    (fun _ (s : slot_state) ->
-      let size = writes_size s.s_writes in
-      List.iter
-        (fun f ->
-          if View.is_live v f then
-            send t ~dst:f ~size
-              (R_inv
-                 {
-                   tx = s.s_tx;
-                   epoch = e;
-                   followers = s.s_followers;
-                   writes = s.s_writes;
-                   prev_val = false;
-                   replay = true;
-                 }))
-        s.s_missing)
-    t.replaying;
-  doorbell t
+(* ---------- public API ---------------------------------------------------- *)
 
-(* Fresh-incarnation reset for a rejoining node. *)
-let reset t =
-  Hashtbl.reset t.pipelines;
-  Hashtbl.reset t.follower_pipes;
-  Hashtbl.reset t.replaying;
-  t.recovering_epoch <- None
-
-(* ---------- dispatch ------------------------------------------------------ *)
+let commit ?(parent = Tspan.null_span) t ~thread ~updates ?on_durable () =
+  let replica_sets =
+    List.map
+      (fun (u : Txn.update) ->
+        match Table.find t.table u.key with
+        | Some obj -> (
+          match obj.Obj.o_replicas with Some r -> Replicas.all r | None -> [])
+        | None -> [])
+      updates
+  in
+  let has_durable =
+    match on_durable with
+    | Some k ->
+      Hashtbl.replace t.durables (thread, Core.peek_slot t.core ~thread) k;
+      true
+    | None -> false
+  in
+  t.span_parent <- parent;
+  feed t (Core.Api_commit { thread; updates; replica_sets; has_durable; env = env t });
+  t.span_parent <- Tspan.null_span
 
 let handle t ~src payload =
-  match payload with
-  | R_inv { tx; epoch = e; followers; writes; prev_val; replay } ->
-    (* Fence STALE epochs only.  A future-epoch R-INV comes from a peer
-       that installed the next view before us; views are monotone and we
-       will install it within the skew bound, so the traffic is not a
-       pre-reconfiguration zombie — and dropping it loses the delivery for
-       good, because the transport is reliable and nothing above it
-       retries.  Exception: a sender we still see as dead is a rejoined
-       incarnation whose follower-pipe state we will wipe when its revival
-       view reaches us, so accepting its slots early would store state the
-       wipe then destroys — keep fencing those. *)
-    if e = epoch t || (e > epoch t && live t src) then
-      handle_inv t ~src ~tx ~followers ~writes ~prev_val ~replay;
+  if Core.handles_payload payload then begin
+    feed t (Core.Deliver { src; payload; env = env t });
     true
-  | R_ack { tx; sender } ->
-    handle_ack t ~tx ~sender;
-    true
-  | R_val { tx } ->
-    handle_val t ~tx;
-    true
-  | _ -> false
+  end
+  else false
+
+let on_view_change t (v : View.t) =
+  feed t
+    (Core.View_change { view_epoch = v.View.epoch; live = v.View.live; env = env t })
+
+(* Fresh-incarnation reset for a rejoining node.  The pending durability
+   continuations and spans die with the protocol state (commit has no
+   timers, so unlike ownership there is no zombie path to preserve). *)
+let reset t =
+  feed t Core.Reset;
+  Hashtbl.reset t.durables;
+  Hashtbl.reset t.spans
 
 let create ?telemetry ~node ~table ~membership ~callbacks transport =
-  let engine = Zeus_net.Fabric.engine (Transport.fabric transport) in
   let nodes = Zeus_net.Fabric.nodes (Transport.fabric transport) in
   let hub = match telemetry with Some h -> h | None -> Hub.none () in
   let metrics = Metrics.create () in
   let t =
     {
+      core = Core.create ~self:node ~nodes ();
       node;
       table;
       membership;
       cb = callbacks;
       transport;
-      engine;
-      pipelines = Hashtbl.create 16;
-      follower_pipes = Hashtbl.create 64;
-      replaying = Hashtbl.create 16;
-      prev_live = Array.make nodes true;
-      recovering_epoch = None;
+      durables = Hashtbl.create 16;
+      spans = Hashtbl.create 16;
+      span_parent = Tspan.null_span;
       metrics;
       tspans = Hub.trace hub;
       c_started = Metrics.Counter.v metrics "commit.commits_started";
       c_durable = Metrics.Counter.v metrics "commit.commits_durable";
       c_replays = Metrics.Counter.v metrics "commit.replays_started";
+      io_tap = None;
     }
   in
   Service.subscribe membership node (fun v -> on_view_change t v);
-  ignore t.engine;
   t

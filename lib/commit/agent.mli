@@ -80,3 +80,15 @@ val replays_started : t -> int
 
 val metrics : t -> Zeus_telemetry.Metrics.t
 (** The agent's typed registry (counters under ["commit."]). *)
+
+(** Record / replay *)
+
+val set_io_tap : t -> (Core.input -> Core.eff list -> unit) -> unit
+(** Observe every (input, effects) pair fed through the sans-I/O core, in
+    order.  Inputs embed their sampled [env] (and, for [Api_commit], the
+    pre-sampled replica sets), so a recorded sequence replayed into a
+    fresh {!Core.state} reproduces the same states and effect lists
+    deterministically. *)
+
+val core_fingerprint : t -> string
+(** {!Core.fingerprint} of the live core (replay-equivalence checks). *)

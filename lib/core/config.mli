@@ -1,0 +1,103 @@
+(** Deployment and cost-model configuration — every knob in one record.
+
+    One {!t} value configures a whole cluster: topology and replication
+    degree, the CPU cost model, application-level retry/pipelining policy,
+    the message fabric and reliable transport, the ownership agent's
+    timeouts, predictive locality, and the membership/failure-detection
+    mode.  Fault injection is not a field here: faults are either fabric
+    knobs ({!Zeus_net.Fabric.config} — loss, duplication, reordering,
+    partitions) set through [fabric], or declarative chaos schedules
+    ({!Zeus_chaos.Schedule}) attached to a running cluster by
+    {!Zeus_chaos.Nemesis}.
+
+    The CPU costs (in µs) model the paper's testbed: dual-socket Skylake
+    at 2.7 GHz with DPDK kernel-bypass messaging, where processing one
+    small protocol message costs a few hundred nanoseconds and payloads
+    pay a per-byte copy cost.  Absolute throughput depends on these
+    constants; the comparisons between Zeus and the baselines depend only
+    on message counts and blocking structure, which the protocols
+    determine. *)
+
+type t = {
+  nodes : int;  (** cluster size (paper testbed: 3-6) *)
+  replication_degree : int;  (** replicas per object, owner included (paper: 3) *)
+  dir_replicas : int;  (** directory replication (paper: 3) *)
+  app_threads : int;  (** application worker threads per node (paper: 10) *)
+  ds_threads : int;  (** datastore worker threads per node (paper: 10) *)
+  (* CPU cost model, µs *)
+  msg_proc_us : float;  (** handling one received protocol message *)
+  byte_proc_us : float;  (** per payload byte (copy in/out) *)
+  local_commit_us : float;  (** single-node local commit *)
+  txn_dispatch_us : float;  (** fixed per-transaction overhead at the app thread *)
+  ownership_dispatch_us : float;
+      (** app-side thread time to issue one ownership request and install
+          the result, on top of the request's 1.5-RTT blocking wait (§3.2).
+          Calibrated from the paper's own figures: one worker thread
+          sustains 25 K ownership ops/s while the request latency is
+          17 µs (§8.4), i.e. ~40 µs of thread time per op. *)
+  (* application-level policies *)
+  pipeline_depth : int;  (** max in-flight reliable commits per thread (§5.2) *)
+  backoff_base_us : float;  (** exponential back-off on aborts (§6.2) *)
+  backoff_max_us : float;  (** back-off cap *)
+  max_retries : int;  (** transaction retry budget before giving up *)
+  auto_trim : bool;
+      (** issue Remove_reader out of the critical path to restore the
+          replication degree after a non-replica acquired ownership (§6.2) *)
+  distributed_directory : bool;
+      (** place each object's directory replicas by consistent hashing over
+          all nodes instead of on one fixed replicated directory — the
+          scalable scheme §6.2 prescribes for large deployments or limited
+          locality *)
+  record_history : bool;  (** feed the serializability checker (tests) *)
+  locality : Zeus_locality.Engine.config;
+      (** predictive ownership placement (access tracking, prefetch,
+          anti-ping-pong pinning); disabled by default — with
+          [locality.enabled = false] no engine is created and placement is
+          exactly the paper's reactive behaviour *)
+  fabric : Zeus_net.Fabric.config;
+      (** message fabric: per-hop latency and bandwidth model, message CPU
+          cost, and fault injection (loss, duplication, extra reordering
+          delay, partitions, crash-stop) *)
+  transport : Zeus_net.Transport.config;
+      (** reliable-messaging layer; [transport.batching] (on by default)
+          coalesces same-destination protocol messages within
+          [transport.flush_window_us] into multi-payload frames with
+          cumulative acks and {e per-link in-order delivery} — the RDMA RC
+          contract the commit protocol's liveness leans on (see
+          [Zeus_commit.Core.handle_val]).  Set
+          [Zeus_net.Transport.unbatched] for the historical
+          one-frame-per-message behaviour (model checking, ablations). *)
+  ownership : Zeus_ownership.Agent.config;
+      (** ownership-protocol timeouts: request timeout, arb-replay delay,
+          replay sweep period *)
+  lease_us : float;  (** membership lease length (§3.1) *)
+  detect_us : float;  (** Oracle-mode failure-detection latency by fiat *)
+  membership_mode : Zeus_membership.Service.mode;
+      (** [Oracle] (default): the membership service is told about crashes
+          and installs the excluding view after [detect_us + lease_us] by
+          fiat.  [Detected]: failures are detected end-to-end — heartbeat
+          silence, quorum suspicion, lease expiry, fencing — per
+          [detection] below. *)
+  detection : Zeus_membership.Service.detection;
+      (** heartbeat period, adaptive suspicion timeout bounds, and the
+          fenced-node rejoin backoff; only read in [Detected] mode *)
+  seed : int64;  (** root RNG seed — same seed, same simulation *)
+}
+
+val default : t
+(** 3 nodes, 3-way replication, batched transport, Oracle membership,
+    locality engine off — the paper's baseline deployment. *)
+
+val dir_nodes : t -> Zeus_store.Types.node_id list
+(** The first [dir_replicas] nodes host the (replicated) ownership
+    directory (§4: a single replicated directory; §6.2 discusses
+    distributing it at larger scales). *)
+
+val dir_nodes_for : t -> key:Zeus_store.Types.key -> Zeus_store.Types.node_id list
+(** Directory replicas responsible for [key]: the fixed set, or — with the
+    distributed directory of §6.2 — [dir_replicas] consecutive nodes
+    starting at a hash of the key. *)
+
+val default_replicas : t -> owner:Zeus_store.Types.node_id -> Zeus_store.Replicas.t
+(** Default replica placement for bootstrap and creation: the owner plus
+    the next [replication_degree - 1] nodes in ring order. *)

@@ -1,0 +1,1020 @@
+(* Bounded exploration of the REAL sans-I/O protocol cores.
+
+   Where {!Ownership_spec} and {!Commit_spec} re-state the protocols as
+   independent pure models (a cross-check, like the paper's TLA+), this
+   harness drives the production state machines — {!Zeus_ownership.Core}
+   and {!Zeus_commit.Core} — through {!Explorer.bfs}.  A world holds one
+   core per node plus a model-level interpreter around each: a tiny
+   replica store, a message multiset, armed timers, and the membership
+   epoch.  Transitions feed real inputs (deliveries, API calls, timer
+   fires, view changes) and execute the returned effects exactly as the
+   simulator interpreters do, so every interleaving the checker visits is
+   a behaviour the deployed code can exhibit.
+
+   Worlds are deduplicated on {!OC.fingerprint}/{!CC.fingerprint}-based
+   keys rather than their marshalled bytes: the cores' token allocators
+   and hashtable layouts vary with history, and a timer fire that re-arms
+   would otherwise never converge. *)
+
+module OC = Zeus_ownership.Core
+module OM = Zeus_ownership.Messages
+module ODir = Zeus_ownership.Directory
+module CC = Zeus_commit.Core
+module CM = Zeus_commit.Messages
+open Zeus_store
+
+(* ---------- shared: the network multiset --------------------------------- *)
+
+type msg = { m_src : Types.node_id; m_dst : Types.node_id; payload : Zeus_net.Msg.payload }
+
+(* Structural equality/compare work on payloads: extension constructors
+   compare by their unique ids, the remaining fields are plain data. *)
+let remove_one x xs =
+  let rec go = function
+    | [] -> []
+    | y :: tl -> if y = x then tl else y :: go tl
+  in
+  go xs
+
+let pp_sep_semi ppf () = Format.pp_print_string ppf ";"
+let pp_nodes ppf ns =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:pp_sep_semi Format.pp_print_int)
+    ns
+
+let pp_req_id ppf (r : OM.request_id) = Format.fprintf ppf "n%d#%d" r.origin r.seq
+
+let pp_snap ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some (d : OM.data_snapshot) -> Format.fprintf ppf "v%d" d.t_version
+
+let pp_node_opt ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some n -> Format.fprintf ppf "n%d" n
+
+let pp_update ppf (u : Txn.update) =
+  Format.fprintf ppf "(k%d v%d%s)" u.key u.version (if u.freed then " freed" else "")
+
+let pp_updates = Format.pp_print_list ~pp_sep:pp_sep_semi pp_update
+
+let pp_payload ppf = function
+  | OM.O_req { req_id; key; kind; requester; requester_has_data; epoch } ->
+    Format.fprintf ppf "REQ(%a k%d %a from n%d%s e%d)" pp_req_id req_id key
+      OM.pp_kind kind requester
+      (if requester_has_data then " has-data" else "")
+      epoch
+  | OM.O_inv
+      { req_id; key; o_ts; base_ts; new_replicas; kind; requester; arbiters;
+        data_from; recovery; driver; epoch } ->
+    Format.fprintf ppf "INV(%a k%d %a base %a %a %a from n%d arb %a data %a%s drv n%d e%d)"
+      pp_req_id req_id key Ots.pp o_ts Ots.pp base_ts Replicas.pp new_replicas
+      OM.pp_kind kind requester pp_nodes arbiters pp_node_opt data_from
+      (if recovery then " recovery" else "")
+      driver epoch
+  | OM.O_ack { req_id; key; o_ts; new_replicas; arbiters; sender; data; epoch } ->
+    Format.fprintf ppf "ACK(%a k%d %a %a arb %a by n%d data %a e%d)" pp_req_id
+      req_id key Ots.pp o_ts Replicas.pp new_replicas pp_nodes arbiters sender
+      pp_snap data epoch
+  | OM.O_val { key; o_ts; epoch } ->
+    Format.fprintf ppf "VAL(k%d %a e%d)" key Ots.pp o_ts epoch
+  | OM.O_nack { req_id; key; o_ts; reason; epoch } ->
+    Format.fprintf ppf "NACK(%a k%d %s %a e%d)" pp_req_id req_id key
+      (match o_ts with Some ts -> Format.asprintf "%a" Ots.pp ts | None -> "-")
+      OM.pp_nack reason epoch
+  | OM.O_resp { req_id; key; o_ts; new_replicas; arbiters; data; epoch } ->
+    Format.fprintf ppf "RESP(%a k%d %a %a arb %a data %a e%d)" pp_req_id req_id
+      key Ots.pp o_ts Replicas.pp new_replicas pp_nodes arbiters pp_snap data
+      epoch
+  | OM.O_recovery_done { node; epoch } ->
+    Format.fprintf ppf "RECOVERY-DONE(n%d e%d)" node epoch
+  | OM.O_register { key; replicas } ->
+    Format.fprintf ppf "REGISTER(k%d %a)" key Replicas.pp replicas
+  | OM.O_forget { key } -> Format.fprintf ppf "FORGET(k%d)" key
+  | CM.R_inv { tx; epoch; followers; writes; prev_val; replay } ->
+    Format.fprintf ppf "R-INV(%a e%d to %a [%a]%s%s)" CM.pp_tx tx epoch pp_nodes
+      followers pp_updates writes
+      (if prev_val then " prev-val" else "")
+      (if replay then " replay" else "")
+  | CM.R_ack { tx; sender } -> Format.fprintf ppf "R-ACK(%a by n%d)" CM.pp_tx tx sender
+  | CM.R_val { tx } -> Format.fprintf ppf "R-VAL(%a)" CM.pp_tx tx
+  | _ -> Format.pp_print_string ppf "?"
+
+let pp_msg ppf m = Format.fprintf ppf "n%d->n%d %a" m.m_src m.m_dst pp_payload m.payload
+
+let pp_net ppf net =
+  let lines = List.sort compare (List.map (Format.asprintf "  %a" pp_msg) net) in
+  List.iter (fun l -> Format.fprintf ppf "%s@," l) lines
+
+(* ========================================================================== *)
+(* Ownership                                                                  *)
+(* ========================================================================== *)
+
+module Ownership = struct
+  (* Same scenario as {!Ownership_spec}: nodes 0-2 are directory replicas,
+     node 0 initially owns key 0 with readers {1, 2}, node 3 is a
+     non-replica.  Acquire intents race through real drivers; one
+     crash-stop failure triggers a view change and arb-replay. *)
+
+  let nnodes = 4
+  let key0 = 0
+  let dirs = [ 0; 1; 2 ]
+  let dir _ = dirs
+
+  type config = { requesters : int list; crashable : int list; dup_budget : int }
+
+  let default_config = { requesters = [ 1; 3 ]; crashable = [ 0; 1 ]; dup_budget = 0 }
+
+  (* Timeouts at zero: the model is untimed ([now] stays 0.0), so every
+     "old enough to replay" check passes and the replay decision is purely
+     the checker's. *)
+  let model_config =
+    { OC.request_timeout_us = 0.0; replay_after_us = 0.0; replay_sweep_us = 0.0 }
+
+  (* One node's replica of the object, at the granularity the core's
+     [facts] and store effects actually touch. *)
+  type mobj = {
+    mutable exists : bool;
+    mutable role : Types.role;
+    mutable o_state : Types.o_state;
+    mutable o_ts : Ots.t;
+    mutable version : int;
+  }
+
+  type state = {
+    cores : OC.state array;
+    stores : mobj array;
+    mutable net : msg list;
+    mutable timers : (Types.node_id * int * OC.timer_kind) list;
+    mutable waiting : (Types.node_id * int) list;
+        (** issued requests whose continuation has not fired (node, seq) *)
+    mutable to_issue : Types.node_id list;
+    mutable crashed : Types.node_id option;
+    mutable epoch : int;
+    mutable epoch_pending : bool;
+    mutable dups_left : int;
+  }
+
+  let fab_live w j = w.crashed <> Some j
+
+  (* The membership view lags a crash until the epoch tick. *)
+  let view_live w j = fab_live w j || w.epoch_pending
+
+  let env w i =
+    {
+      OC.now = 0.0;
+      epoch = w.epoch;
+      live = Array.init nnodes (view_live w);
+      self_alive = fab_live w i;
+      trace_on = false;
+    }
+
+  let snapshot (m : mobj) =
+    if m.exists then Some { OM.value = Value.empty; t_version = m.version }
+    else None
+
+  (* Effect interpreter — the model-store analogue of {!Zeus_ownership.Agent},
+     with apply semantics at the granularity of {!Zeus_core.Node}. *)
+  let exec_eff w i eff =
+    let m = w.stores.(i) in
+    match eff with
+    | OC.Send { dst; payload; _ } ->
+      w.net <- { m_src = i; m_dst = dst; payload } :: w.net
+    | OC.Send_ack_local_data { dst; req_id; key; o_ts; new_replicas; arbiters; epoch } ->
+      w.net <-
+        {
+          m_src = i;
+          m_dst = dst;
+          payload =
+            OM.O_ack
+              { req_id; key; o_ts; new_replicas; arbiters; sender = i;
+                data = snapshot m; epoch };
+        }
+        :: w.net
+    | OC.Flush -> ()
+    | OC.Set_timer { token; kind = OC.T_replay _ as kind; _ } ->
+      w.timers <- (i, token, kind) :: w.timers
+    | OC.Set_timer _ -> ()
+        (* request timeouts and their cleanup never fire in the untimed
+           model, exactly as in the specs *)
+    | OC.Cancel_timer token ->
+      w.timers <- List.filter (fun (n, tok, _) -> not (n = i && tok = token)) w.timers
+    | OC.Apply_arbiter { kind; o_ts; _ } ->
+      if m.exists then begin
+        m.o_ts <- o_ts;
+        match kind with
+        | OM.Acquire -> if m.role = Types.Owner then m.role <- Types.Reader
+        | OM.Add_reader -> ()
+        | OM.Remove_reader r -> if r = i then m.exists <- false
+      end
+    | OC.Apply_requester { kind; o_ts; data; _ } -> (
+      match kind with
+      | OM.Remove_reader r ->
+        if m.exists then begin
+          m.o_ts <- o_ts;
+          if r = i then m.exists <- false
+        end
+      | OM.Acquire | OM.Add_reader ->
+        if not m.exists then begin
+          m.exists <- true;
+          m.version <- (match data with Some d -> d.OM.t_version | None -> 0)
+        end
+        else (
+          match data with
+          | Some d when d.OM.t_version > m.version -> m.version <- d.OM.t_version
+          | _ -> ());
+        m.role <- (match kind with OM.Acquire -> Types.Owner | _ -> Types.Reader);
+        m.o_ts <- o_ts;
+        m.o_state <- Types.O_valid)
+    | OC.Set_o_state { o_state; _ } -> if m.exists then m.o_state <- o_state
+    | OC.Restore_request_state _ ->
+      if m.exists && m.o_state = Types.O_request then m.o_state <- Types.O_valid
+    | OC.Drop_dead_replicas _ -> ()
+    | OC.Notify_request _ | OC.Notify_owner_change _ -> ()
+    | OC.Unblock { seq; _ } ->
+      w.waiting <- List.filter (fun (n, s) -> not (n = i && s = seq)) w.waiting
+    | OC.Telemetry _ -> ()
+
+  let feed w i input =
+    let _, effs = OC.handle ~dir w.cores.(i) input in
+    List.iter (exec_eff w i) effs
+
+  (* Store facts sampled exactly as the simulator interpreter samples them;
+     [busy] is the branch point the checker injects in place of the commit
+     layer's [is_busy]. *)
+  let facts_for w i ~busy (payload : Zeus_net.Msg.payload) =
+    let m = w.stores.(i) in
+    match payload with
+    | OM.O_req _ -> { OC.no_facts with OC.f_busy = busy }
+    | OM.O_inv _ ->
+      if m.exists then
+        { OC.f_exists = true; f_o_ts = m.o_ts; f_is_owner = m.role = Types.Owner;
+          f_busy = busy; f_snapshot = None }
+      else { OC.no_facts with OC.f_busy = busy }
+    | OM.O_ack { req_id; key; _ } ->
+      {
+        OC.no_facts with
+        OC.f_exists = m.exists;
+        f_snapshot =
+          (if req_id.OM.origin <> i && OC.has_replay w.cores.(i) key then snapshot m
+           else None);
+      }
+    | OM.O_resp _ ->
+      if m.exists then { OC.no_facts with OC.f_exists = true; f_o_ts = m.o_ts }
+      else OC.no_facts
+    | _ -> OC.no_facts
+
+  (* A delivery consults the owner's busy flag only when the destination
+     actually owns a valid copy — the only case the core reads [f_busy]. *)
+  let busy_branches w (msg : msg) =
+    let m = w.stores.(msg.m_dst) in
+    let applicable =
+      (match msg.payload with OM.O_req _ | OM.O_inv _ -> true | _ -> false)
+      && fab_live w msg.m_dst && m.exists
+      && m.role = Types.Owner
+    in
+    if applicable then [ false; true ] else [ false ]
+
+  let deliver w (msg : msg) ~busy =
+    if fab_live w msg.m_dst then
+      feed w msg.m_dst
+        (OC.Deliver
+           { src = msg.m_src; payload = msg.payload;
+             facts = facts_for w msg.m_dst ~busy msg.payload;
+             env = env w msg.m_dst })
+
+  let issue w r =
+    w.to_issue <- List.filter (fun x -> x <> r) w.to_issue;
+    if fab_live w r then begin
+      let seq = OC.next_seq w.cores.(r) in
+      w.waiting <- (r, seq) :: w.waiting;
+      feed w r
+        (OC.Api_request
+           { key = key0; kind = OM.Acquire;
+             facts = { OC.no_facts with OC.f_exists = w.stores.(r).exists };
+             env = env w r })
+    end
+
+  let crash w v =
+    w.crashed <- Some v;
+    w.epoch_pending <- true
+
+  (* The membership service installs the new view everywhere, then the
+     commit layer (empty in this world) drains instantly and announces
+     recovery-done — un-gating the directories once every node's
+     announcement arrives. *)
+  let tick w =
+    w.epoch <- w.epoch + 1;
+    w.epoch_pending <- false;
+    for i = 0 to nnodes - 1 do
+      if fab_live w i then
+        feed w i
+          (OC.View_change
+             { view_epoch = w.epoch; live = Array.init nnodes (view_live w);
+               env = env w i })
+    done;
+    for i = 0 to nnodes - 1 do
+      if fab_live w i then feed w i (OC.Api_recovery_done { epoch = w.epoch; env = env w i })
+    done
+
+  let fire w i token kind =
+    w.timers <- List.filter (fun (n, tok, _) -> not (n = i && tok = token)) w.timers;
+    let facts =
+      match kind with
+      | OC.T_replay _ -> { OC.no_facts with OC.f_snapshot = snapshot w.stores.(i) }
+      | _ -> OC.no_facts
+    in
+    feed w i (OC.Timer_fire { token; kind; facts; env = env w i })
+
+  (* Drop state that can no longer influence behaviour, keeping the world
+     representation canonical: messages to / timers of the dead, and
+     replay timers whose pending arbitration moved on (the zombie timers
+     the simulator lets fire harmlessly). *)
+  let normalize w =
+    (match w.crashed with
+    | Some v ->
+      w.net <- List.filter (fun m -> m.m_dst <> v) w.net;
+      w.timers <- List.filter (fun (n, _, _) -> n <> v) w.timers;
+      w.waiting <- List.filter (fun (n, _) -> n <> v) w.waiting;
+      w.to_issue <- List.filter (fun r -> r <> v) w.to_issue
+    | None -> ());
+    w.timers <-
+      List.filter
+        (fun (i, _, k) ->
+          match k with
+          | OC.T_replay { key; o_ts } -> (
+            match OC.pending_ts w.cores.(i) key with
+            | Some ts -> Ots.equal ts o_ts
+            | None -> false)
+          | _ -> false)
+        w.timers
+
+  let copy w =
+    {
+      cores = Array.map OC.copy w.cores;
+      stores = Array.map (fun m -> { m with exists = m.exists }) w.stores;
+      net = w.net;
+      timers = w.timers;
+      waiting = w.waiting;
+      to_issue = w.to_issue;
+      crashed = w.crashed;
+      epoch = w.epoch;
+      epoch_pending = w.epoch_pending;
+      dups_left = w.dups_left;
+    }
+
+  let init_world config =
+    let w =
+      {
+        cores =
+          Array.init nnodes (fun i ->
+              OC.create ~config:model_config ~self:i ~nodes:nnodes ());
+        stores =
+          Array.init nnodes (fun i ->
+              if i < 3 then
+                { exists = true;
+                  role = (if i = 0 then Types.Owner else Types.Reader);
+                  o_state = Types.O_valid; o_ts = Ots.zero; version = 0 }
+              else
+                { exists = false; role = Types.Reader; o_state = Types.O_valid;
+                  o_ts = Ots.zero; version = 0 });
+        net = [];
+        timers = [];
+        waiting = [];
+        to_issue = config.requesters;
+        crashed = None;
+        epoch = 0;
+        epoch_pending = false;
+        dups_left = config.dup_budget;
+      }
+    in
+    let replicas = Replicas.v ~owner:0 ~readers:[ 1; 2 ] in
+    List.iter (fun d -> feed w d (OC.Api_seed { key = key0; replicas })) dirs;
+    w
+
+  (* An armed replay timer is meaningful to fire when the arbitration it
+     watches is still pending and nothing about its timestamp is in
+     flight — the executable reading of "blocked long enough". *)
+  let mentions_ts w ts =
+    List.exists
+      (fun m ->
+        match m.payload with
+        | OM.O_inv { o_ts; _ } | OM.O_ack { o_ts; _ } | OM.O_val { o_ts; _ }
+        | OM.O_resp { o_ts; _ } ->
+          Ots.equal o_ts ts
+        | OM.O_nack { o_ts = Some ts'; _ } -> Ots.equal ts' ts
+        | _ -> false)
+      w.net
+
+  let replay_fires w =
+    if w.epoch_pending then []
+    else
+      List.filter
+        (fun (i, _, k) ->
+          match k with
+          | OC.T_replay { o_ts; _ } -> fab_live w i && not (mentions_ts w o_ts)
+          | _ -> false)
+        w.timers
+
+  (* At most one fire per (node, kind): duplicates left by view-change
+     re-arming are interchangeable. *)
+  let dedup_fires fires =
+    List.fold_left
+      (fun acc ((i, _, k) as f) ->
+        if List.exists (fun (j, _, k') -> i = j && k = k') acc then acc
+        else acc @ [ f ])
+      [] fires
+
+  let transitions config w =
+    let succs = ref [] in
+    let push f =
+      let w' = copy w in
+      f w';
+      normalize w';
+      succs := w' :: !succs
+    in
+    List.iter
+      (fun msg ->
+        List.iter
+          (fun busy ->
+            push (fun w' ->
+                w'.net <- remove_one msg w'.net;
+                deliver w' msg ~busy);
+            if w.dups_left > 0 then
+              push (fun w' ->
+                  w'.dups_left <- w'.dups_left - 1;
+                  deliver w' msg ~busy))
+          (busy_branches w msg))
+      (List.sort_uniq compare w.net);
+    List.iter (fun r -> push (fun w' -> issue w' r)) w.to_issue;
+    if w.crashed = None then
+      List.iter (fun v -> push (fun w' -> crash w' v)) config.crashable;
+    if w.epoch_pending then push tick;
+    List.iter (fun (i, token, kind) -> push (fun w' -> fire w' i token kind))
+      (dedup_fires (replay_fires w));
+    !succs
+
+  (* ---------- invariants -------------------------------------------------- *)
+
+  let all_nodes = List.init nnodes Fun.id
+
+  let owners w =
+    List.filter
+      (fun i ->
+        fab_live w i
+        &&
+        let m = w.stores.(i) in
+        m.exists && m.role = Types.Owner && m.o_state = Types.O_valid)
+      all_nodes
+
+  (* Live directory replicas whose entry is in the applied (valid) state. *)
+  let valid_entries w =
+    List.filter_map
+      (fun d ->
+        if fab_live w d then
+          match ODir.find (OC.directory w.cores.(d)) key0 with
+          | Some e when e.ODir.pending = None && e.ODir.o_state = Types.O_valid ->
+            Some (d, e)
+          | _ -> None
+        else None)
+      dirs
+
+  let canon_reps w (r : Replicas.t) =
+    let r = Replicas.drop_dead r ~live:(fab_live w) in
+    { r with Replicas.readers = List.sort compare r.Replicas.readers }
+
+  let invariant w =
+    match owners w with
+    | _ :: _ :: _ as os ->
+      Error (Format.asprintf "two live valid owners: %a" pp_nodes os)
+    | _ ->
+      let rec agree = function
+        | [] -> Ok ()
+        | (d1, (e1 : ODir.entry)) :: rest -> (
+          match
+            List.find_opt
+              (fun (_, (e2 : ODir.entry)) ->
+                Ots.equal e1.ODir.o_ts e2.ODir.o_ts
+                && canon_reps w e1.ODir.replicas <> canon_reps w e2.ODir.replicas)
+              rest
+          with
+          | Some (d2, e2) ->
+            Error
+              (Format.asprintf
+                 "dirs n%d/n%d disagree at %a: %a vs %a (modulo dead)" d1 d2
+                 Ots.pp e1.ODir.o_ts Replicas.pp e1.ODir.replicas Replicas.pp
+                 e2.ODir.replicas)
+          | None -> agree rest)
+      in
+      agree (valid_entries w)
+
+  let at_quiescence w =
+    let live_nodes = List.filter (fab_live w) all_nodes in
+    match
+      List.find_opt (fun i -> OC.pending_ts w.cores.(i) key0 <> None) live_nodes
+    with
+    | Some i -> Error (Format.asprintf "n%d: pending arbitration never resolved" i)
+    | None -> (
+      match w.waiting with
+      | (n, seq) :: _ ->
+        Error (Format.asprintf "n%d: request #%d never reached a verdict" n seq)
+      | [] -> (
+        let entries = valid_entries w in
+        match owners w with
+        | [] ->
+          if w.crashed = None then Error "no live owner without a crash"
+          else begin
+            (* permanently orphaned is allowed only if every freshest
+               surviving directory names the dead node (or nobody) *)
+            let max_ts =
+              List.fold_left
+                (fun acc (_, (e : ODir.entry)) ->
+                  if Ots.compare e.ODir.o_ts acc > 0 then e.ODir.o_ts else acc)
+                Ots.zero entries
+            in
+            match
+              List.find_opt
+                (fun (_, (e : ODir.entry)) ->
+                  Ots.equal e.ODir.o_ts max_ts
+                  &&
+                  match e.ODir.replicas.Replicas.owner with
+                  | Some o -> fab_live w o
+                  | None -> false)
+                entries
+            with
+            | Some (d, e) ->
+              Error
+                (Format.asprintf
+                   "no live valid owner, yet dir n%d's freshest entry names live n%d"
+                   d
+                   (Option.get e.ODir.replicas.Replicas.owner))
+            | None -> Ok ()
+          end
+        | [ o ] -> (
+          let owner_ts = w.stores.(o).o_ts in
+          match
+            List.find_opt
+              (fun (_, (e : ODir.entry)) ->
+                if Ots.equal e.ODir.o_ts owner_ts then
+                  e.ODir.replicas.Replicas.owner <> Some o
+                else Ots.compare e.ODir.o_ts owner_ts > 0)
+              entries
+          with
+          | Some (d, e) ->
+            Error
+              (Format.asprintf "dir n%d at %a contradicts owner n%d at %a" d
+                 Ots.pp e.ODir.o_ts o Ots.pp owner_ts)
+          | None -> Ok ())
+        | os -> Error (Format.asprintf "two live valid owners: %a" pp_nodes os)))
+
+  (* ---------- canonical key / display ------------------------------------- *)
+
+  let pp_timer ppf = function
+    | OC.T_replay { key; o_ts } -> Format.fprintf ppf "replay(k%d %a)" key Ots.pp o_ts
+    | OC.T_timeout { seq; key; _ } -> Format.fprintf ppf "timeout(#%d k%d)" seq key
+    | OC.T_cleanup { seq; _ } -> Format.fprintf ppf "cleanup(#%d)" seq
+
+  let pp_mobj ppf (m : mobj) =
+    if m.exists then
+      Format.fprintf ppf "%a %a %a v%d" Types.pp_role m.role Types.pp_o_state
+        m.o_state Ots.pp m.o_ts m.version
+    else Format.pp_print_string ppf "-"
+
+  let fingerprint w =
+    let b = Buffer.create 1024 in
+    let add fmt = Format.kasprintf (Buffer.add_string b) fmt in
+    add "e%d%s crash=%s dup=%d issue=%a;"
+      w.epoch
+      (if w.epoch_pending then "+p" else "")
+      (match w.crashed with Some v -> "n" ^ string_of_int v | None -> "-")
+      w.dups_left pp_nodes (List.sort compare w.to_issue);
+    Array.iteri
+      (fun i m ->
+        if fab_live w i then
+          add "n%d[%a | %s];" i pp_mobj m (OC.fingerprint w.cores.(i))
+        else add "n%d[dead];" i)
+      w.stores;
+    let net = List.sort compare (List.map (Format.asprintf "%a" pp_msg) w.net) in
+    add "net{%s};" (String.concat " " net);
+    let timers =
+      List.sort_uniq compare
+        (List.map (fun (i, _, k) -> Format.asprintf "n%d:%a" i pp_timer k) w.timers)
+    in
+    add "timers{%s};" (String.concat " " timers);
+    let waiting =
+      List.sort compare (List.map (fun (n, s) -> Printf.sprintf "n%d#%d" n s) w.waiting)
+    in
+    add "waiting{%s}" (String.concat " " waiting);
+    Buffer.contents b
+
+  let pp_state ppf w =
+    Format.fprintf ppf "@[<v>epoch %d%s  crashed %s  dups %d  to-issue %a@,"
+      w.epoch
+      (if w.epoch_pending then " (tick pending)" else "")
+      (match w.crashed with Some v -> "n" ^ string_of_int v | None -> "-")
+      w.dups_left pp_nodes w.to_issue;
+    Array.iteri
+      (fun i m ->
+        if fab_live w i then
+          Format.fprintf ppf "n%d: %a  dir %s@," i pp_mobj m
+            (match ODir.find (OC.directory w.cores.(i)) key0 with
+            | Some e ->
+              Format.asprintf "%a %a %a%s" Types.pp_o_state e.ODir.o_state Ots.pp
+                e.ODir.o_ts Replicas.pp e.ODir.replicas
+                (match e.ODir.pending with
+                | Some p -> Format.asprintf " pending %a" Ots.pp p.ODir.o_ts
+                | None -> "")
+            | None -> "-")
+        else Format.fprintf ppf "n%d: dead@," i)
+      w.stores;
+    List.iter
+      (fun (i, _, k) -> Format.fprintf ppf "timer n%d %a@," i pp_timer k)
+      w.timers;
+    List.iter (fun (n, s) -> Format.fprintf ppf "waiting n%d#%d@," n s) w.waiting;
+    pp_net ppf w.net;
+    Format.fprintf ppf "@]"
+
+  let explore ?(config = default_config) ?max_states () =
+    Explorer.bfs
+      ~init:[ init_world config ]
+      ~next:(transitions config) ~key:fingerprint ~invariant ~at_quiescence
+      ?max_states ()
+end
+
+(* ========================================================================== *)
+(* Commit                                                                     *)
+(* ========================================================================== *)
+
+module Commit = struct
+  (* Same scenario as {!Commit_spec}: coordinator node 0 pipelines a fixed
+     transaction schedule over object X (on followers 1 and 2) and object Y
+     (on follower 1 only — a partial stream), with optional duplication and
+     a coordinator crash followed by follower replay. *)
+
+  let coord = 0
+  let nnodes = 3
+  let obj_x = 0
+  let obj_y = 1
+  let replicas_of k = if k = obj_x then [ 0; 1; 2 ] else [ 0; 1 ]
+  let has i k = List.mem i (replicas_of k)
+
+  type txn = [ `X | `XY | `Y ]
+  type config = { txns : txn list; crash : bool; dup_budget : int; fifo : bool }
+
+  let default_config = { txns = [ `Y; `XY; `X ]; crash = true; dup_budget = 0; fifo = true }
+
+  type cobj = { mutable ver : int; mutable valid : bool }
+
+  type state = {
+    cores : CC.state array;
+    stores : cobj array array;  (** [node].(object) — meaningful where [has] *)
+    mutable net : msg list;
+    mutable issued : int;
+    mutable crashed : bool;
+    mutable epoch : int;
+    mutable epoch_pending : bool;
+    mutable dups_left : int;
+  }
+
+  let fab_live w j = not (w.crashed && j = coord)
+  let view_live w j = fab_live w j || w.epoch_pending
+
+  let env w _i =
+    { CC.epoch = w.epoch; live = Array.init nnodes (view_live w); trace_on = false }
+
+  (* Effect interpreter: the store transforms run their per-update loops
+     against the model store, with the spec's has-guard — a node only
+     tracks objects it is configured to replicate. *)
+  let exec_eff w i eff =
+    match eff with
+    | CC.Send { dst; payload; _ } ->
+      (* Appended at the tail so the list order is the per-link send order —
+         the FIFO delivery rule below depends on it. *)
+      w.net <- w.net @ [ { m_src = i; m_dst = dst; payload } ]
+    | CC.Flush -> ()
+    | CC.Validate_local { writes } ->
+      List.iter
+        (fun (u : Txn.update) ->
+          let m = w.stores.(i).(u.key) in
+          if m.ver = u.version then m.valid <- true)
+        writes
+    | CC.Apply_writes { writes; _ } ->
+      List.iter
+        (fun (u : Txn.update) ->
+          if has i u.key then begin
+            let m = w.stores.(i).(u.key) in
+            if u.version > m.ver then begin
+              m.ver <- u.version;
+              m.valid <- false
+            end
+          end)
+        writes
+    | CC.Validate_stored { writes } ->
+      List.iter
+        (fun (u : Txn.update) ->
+          if has i u.key then begin
+            let m = w.stores.(i).(u.key) in
+            if m.ver = u.version then m.valid <- true
+          end)
+        writes
+    | CC.Durable _ -> ()
+    | CC.Drained _ -> ()
+    | CC.Telemetry _ -> ()
+
+  let feed w i input =
+    let _, effs = CC.handle w.cores.(i) input in
+    List.iter (exec_eff w i) effs
+
+  let objs_of = function `X -> [ obj_x ] | `Y -> [ obj_y ] | `XY -> [ obj_x; obj_y ]
+
+  (* A local commit: bump + invalidate the coordinator's copies (what
+     [Txn.local_commit] does), then hand the updates to the real core. *)
+  let do_commit w txn =
+    w.issued <- w.issued + 1;
+    let updates =
+      List.map
+        (fun k ->
+          let m = w.stores.(coord).(k) in
+          m.ver <- m.ver + 1;
+          m.valid <- false;
+          { Txn.key = k; version = m.ver; data = Value.empty; freed = false })
+        (objs_of txn)
+    in
+    let replica_sets = List.map (fun (u : Txn.update) -> replicas_of u.Txn.key) updates in
+    feed w coord
+      (CC.Api_commit
+         { thread = 0; updates; replica_sets; has_durable = false; env = env w coord })
+
+  let deliver w (msg : msg) =
+    if fab_live w msg.m_dst then
+      feed w msg.m_dst
+        (CC.Deliver { src = msg.m_src; payload = msg.payload; env = env w msg.m_dst })
+
+  let crash w =
+    w.crashed <- true;
+    w.epoch_pending <- true;
+    w.net <- List.filter (fun m -> m.m_dst <> coord) w.net
+
+  let tick w =
+    w.epoch <- w.epoch + 1;
+    w.epoch_pending <- false;
+    for i = 0 to nnodes - 1 do
+      if fab_live w i then
+        feed w i
+          (CC.View_change
+             { view_epoch = w.epoch; live = Array.init nnodes (view_live w);
+               env = env w i })
+    done
+
+  let copy w =
+    {
+      cores = Array.map CC.copy w.cores;
+      stores = Array.map (Array.map (fun m -> { m with ver = m.ver })) w.stores;
+      net = w.net;
+      issued = w.issued;
+      crashed = w.crashed;
+      epoch = w.epoch;
+      epoch_pending = w.epoch_pending;
+      dups_left = w.dups_left;
+    }
+
+  let init_world config =
+    {
+      cores = Array.init nnodes (fun i -> CC.create ~self:i ~nodes:nnodes ());
+      stores =
+        Array.init nnodes (fun _ -> Array.init 2 (fun _ -> { ver = 0; valid = true }));
+      net = [];
+      issued = 0;
+      crashed = false;
+      epoch = 0;
+      epoch_pending = false;
+      dups_left = config.dup_budget;
+    }
+
+  (* The deployed transport (batched reliable messaging, the paper's RDMA
+     RC) delivers each link's payloads in order, and the commit protocol's
+     correctness argument leans on that — see the [handle_val] comment in
+     {!Zeus_commit.Core}.  With [fifo = true] only each link's oldest
+     message is deliverable; with [fifo = false] the net is an arbitrarily
+     reordered multiset, which reproduces the VAL-overtakes-first-INV
+     buffering deadlock the checker found (a seeded counterexample the
+     [model] command re-verifies). *)
+  let link_heads net =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun m ->
+        let l = (m.m_src, m.m_dst) in
+        if Hashtbl.mem seen l then false
+        else begin
+          Hashtbl.add seen l ();
+          true
+        end)
+      net
+
+  let transitions config w =
+    let succs = ref [] in
+    let push f =
+      let w' = copy w in
+      f w';
+      succs := w' :: !succs
+    in
+    let deliverable =
+      if config.fifo then link_heads w.net else List.sort_uniq compare w.net
+    in
+    List.iter
+      (fun msg ->
+        push (fun w' ->
+            w'.net <- remove_one msg w'.net;
+            deliver w' msg);
+        if w.dups_left > 0 then
+          if config.fifo then
+            (* An in-order duplicate: the frame is delivered twice
+               back-to-back (a retransmitted window overlapping delivery
+               with receive-side dedup off). *)
+            push (fun w' ->
+                w'.dups_left <- w'.dups_left - 1;
+                w'.net <- remove_one msg w'.net;
+                deliver w' msg;
+                deliver w' msg)
+          else
+            push (fun w' ->
+                w'.dups_left <- w'.dups_left - 1;
+                deliver w' msg))
+      deliverable;
+    (if not w.crashed then
+       match List.nth_opt config.txns w.issued with
+       | Some txn -> push (fun w' -> do_commit w' txn)
+       | None -> ());
+    if config.crash && not w.crashed && w.issued > 0 then push crash;
+    if w.epoch_pending then push tick;
+    !succs
+
+  (* ---------- invariants -------------------------------------------------- *)
+
+  let all_nodes = List.init nnodes Fun.id
+
+  let invariant w =
+    let bad = ref (Ok ()) in
+    List.iter
+      (fun k ->
+        let valids =
+          List.filter_map
+            (fun i ->
+              if fab_live w i && has i k && w.stores.(i).(k).valid then
+                Some (i, w.stores.(i).(k).ver)
+              else None)
+            all_nodes
+        in
+        match valids with
+        | (i1, v1) :: rest -> (
+          match List.find_opt (fun (_, v) -> v <> v1) rest with
+          | Some (i2, v2) ->
+            if !bad = Ok () then
+              bad :=
+                Error
+                  (Format.asprintf
+                     "object %d: valid copies disagree (n%d@v%d vs n%d@v%d)" k i1
+                     v1 i2 v2)
+          | None -> ())
+        | [] -> ())
+      [ obj_x; obj_y ];
+    !bad
+
+  let at_quiescence config w =
+    let live_nodes = List.filter (fab_live w) all_nodes in
+    let followers = List.filter (fun i -> i <> coord) live_nodes in
+    match List.find_opt (fun i -> CC.stored_invs w.cores.(i) > 0) followers with
+    | Some i -> Error (Format.asprintf "n%d still holds stored R-INVs" i)
+    | None -> (
+      match List.find_opt (fun i -> CC.replaying_count w.cores.(i) > 0) live_nodes with
+      | Some i -> Error (Format.asprintf "n%d's replay never finished" i)
+      | None -> (
+        match
+          List.find_opt (fun i -> CC.recovering_epoch w.cores.(i) <> None) live_nodes
+        with
+        | Some i -> Error (Format.asprintf "n%d's recovery drain never completed" i)
+        | None ->
+          if not w.crashed then begin
+            if w.issued < List.length config.txns then
+              Error "schedule never fully issued"
+            else if CC.inflight w.cores.(coord) > 0 then
+              Error "coordinator slots never validated"
+            else
+              let stale =
+                List.concat_map
+                  (fun i ->
+                    List.filter_map
+                      (fun k ->
+                        if has i k then begin
+                          let m = w.stores.(i).(k) in
+                          if (not m.valid) || m.ver <> w.stores.(coord).(k).ver then
+                            Some (i, k)
+                          else None
+                        end
+                        else None)
+                      [ obj_x; obj_y ])
+                  live_nodes
+              in
+              match stale with
+              | (i, k) :: _ ->
+                Error
+                  (Format.asprintf
+                     "n%d's object %d did not converge to the coordinator (v%d, \
+                      coordinator v%d, valid %b)"
+                     i k w.stores.(i).(k).ver w.stores.(coord).(k).ver
+                     w.stores.(i).(k).valid)
+              | [] -> Ok ()
+          end
+          else begin
+            (* survivors must agree on X and hold fully validated copies
+               of everything they replicate *)
+            if w.stores.(1).(obj_x).ver <> w.stores.(2).(obj_x).ver then
+              Error
+                (Format.asprintf "survivors diverge on X: n1@v%d vs n2@v%d"
+                   w.stores.(1).(obj_x).ver w.stores.(2).(obj_x).ver)
+            else
+              match
+                List.find_opt
+                  (fun (i, k) -> has i k && not w.stores.(i).(k).valid)
+                  [ (1, obj_x); (1, obj_y); (2, obj_x) ]
+              with
+              | Some (i, k) ->
+                Error (Format.asprintf "n%d's object %d never revalidated" i k)
+              | None -> Ok ()
+          end))
+
+  (* ---------- canonical key / display ------------------------------------- *)
+
+  let pp_store ppf (w, i) =
+    List.iter
+      (fun k ->
+        if has i k then
+          Format.fprintf ppf "%s:v%d%s "
+            (if k = obj_x then "X" else "Y")
+            w.stores.(i).(k).ver
+            (if w.stores.(i).(k).valid then "" else "*"))
+      [ obj_x; obj_y ]
+
+  let fingerprint config w =
+    let b = Buffer.create 1024 in
+    let add fmt = Format.kasprintf (Buffer.add_string b) fmt in
+    add "e%d%s crash=%b dup=%d issued=%d;"
+      w.epoch
+      (if w.epoch_pending then "+p" else "")
+      w.crashed w.dups_left w.issued;
+    Array.iteri
+      (fun i _ ->
+        if fab_live w i then
+          add "n%d[%a| %s];" i pp_store (w, i) (CC.fingerprint w.cores.(i))
+        else add "n%d[dead];" i)
+      w.cores;
+    (* Under FIFO links the per-link order is behaviour — fold it into the
+       key link by link; a reordering net is an order-free multiset. *)
+    let net_part =
+      if config.fifo then
+        let links =
+          List.sort_uniq compare (List.map (fun m -> (m.m_src, m.m_dst)) w.net)
+        in
+        String.concat " "
+          (List.map
+             (fun (s, d) ->
+               let ps =
+                 List.filter_map
+                   (fun m ->
+                     if m.m_src = s && m.m_dst = d then
+                       Some (Format.asprintf "%a" pp_payload m.payload)
+                     else None)
+                   w.net
+               in
+               Format.asprintf "n%d->n%d:[%s]" s d (String.concat "|" ps))
+             links)
+      else
+        String.concat " "
+          (List.sort compare (List.map (Format.asprintf "%a" pp_msg) w.net))
+    in
+    add "net{%s}" net_part;
+    Buffer.contents b
+
+  let pp_state ppf w =
+    Format.fprintf ppf "@[<v>epoch %d%s  crashed %b  dups %d  issued %d@,"
+      w.epoch
+      (if w.epoch_pending then " (tick pending)" else "")
+      w.crashed w.dups_left w.issued;
+    Array.iteri
+      (fun i _ ->
+        if fab_live w i then
+          Format.fprintf ppf
+            "n%d: %a inflight %d stored %d replaying %d@," i pp_store (w, i)
+            (CC.inflight w.cores.(i))
+            (CC.stored_invs w.cores.(i))
+            (CC.replaying_count w.cores.(i))
+        else Format.fprintf ppf "n%d: dead@," i)
+      w.cores;
+    pp_net ppf w.net;
+    Format.fprintf ppf "@]"
+
+  let explore ?(config = default_config) ?max_states () =
+    Explorer.bfs
+      ~init:[ init_world config ]
+      ~next:(transitions config) ~key:(fingerprint config) ~invariant
+      ~at_quiescence:(at_quiescence config) ?max_states ()
+end

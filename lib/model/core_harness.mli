@@ -1,0 +1,61 @@
+(** Bounded exploration of the {e real} sans-I/O protocol cores.
+
+    {!Ownership_spec} and {!Commit_spec} model-check independent
+    re-statements of the protocols; this harness closes the gap between
+    model and implementation by driving the production state machines —
+    {!Zeus_ownership.Core} and {!Zeus_commit.Core} — through the same
+    {!Explorer.bfs}.  Each world holds one core per node plus the minimal
+    interpreter around it (a model replica store, a message multiset,
+    armed timers, the membership epoch); transitions feed real inputs and
+    execute the returned effects exactly as the simulator interpreters do.
+
+    Scenarios and invariants mirror the spec modules, so the two checkers
+    cross-validate each other: a behaviour divergence shows up as either a
+    violation here or a state-count discrepancy there. *)
+
+(** Ownership core under contention, duplication, crash-stop failure and
+    arb-replay (scenario of {!Ownership_spec}: 3 directory replicas, node 0
+    owns key 0 with readers {1, 2}, node 3 a non-replica). *)
+module Ownership : sig
+  type config = {
+    requesters : int list;  (** nodes issuing Acquire intents *)
+    crashable : int list;   (** nodes that may crash (at most one does) *)
+    dup_budget : int;       (** how many deliveries may be duplicated *)
+  }
+
+  val default_config : config
+
+  type state
+
+  val pp_state : Format.formatter -> state -> unit
+
+  val explore : ?config:config -> ?max_states:int -> unit -> state Explorer.stats
+end
+
+(** Commit core under pipelining, partial streams, duplication and
+    coordinator crash + replay (scenario of {!Commit_spec}: coordinator 0,
+    object X on followers 1-2, object Y on follower 1 only). *)
+module Commit : sig
+  type txn = [ `X | `XY | `Y ]
+
+  type config = {
+    txns : txn list;  (** the coordinator's pipeline schedule *)
+    crash : bool;     (** allow a coordinator crash *)
+    dup_budget : int;
+    fifo : bool;
+        (** [true] (the deployed contract): each link delivers in send
+            order, matching the batched reliable transport / RDMA RC;
+            duplication is an in-order double delivery.  [false]: the net
+            is an arbitrarily reordered multiset — this reproduces the
+            VAL-overtakes-first-INV buffering deadlock, a liveness hole
+            the protocol closes by {e assuming} in-order links. *)
+  }
+
+  val default_config : config
+
+  type state
+
+  val pp_state : Format.formatter -> state -> unit
+
+  val explore : ?config:config -> ?max_states:int -> unit -> state Explorer.stats
+end

@@ -7,11 +7,16 @@ type 'state stats = {
   trace : 'state list;
 }
 
-let bfs ~init ~next ~invariant ?at_quiescence ?(max_states = 500_000) () =
-  (* States are deduplicated on their full marshalled representation:
-     the default polymorphic hash only samples a few constructors of these
-     deep states, which would collapse the table into collision chains. *)
-  let key s = Marshal.to_string s [] in
+let bfs ~init ~next ?key ~invariant ?at_quiescence ?(max_states = 500_000) () =
+  (* By default states are deduplicated on their full marshalled
+     representation: the default polymorphic hash only samples a few
+     constructors of these deep states, which would collapse the table into
+     collision chains.  Worlds whose representation is not canonical (token
+     allocators, hashtable layouts, closures) pass an explicit canonical
+     [key] instead. *)
+  let key =
+    match key with Some f -> f | None -> fun s -> Marshal.to_string s []
+  in
   let seen = Hashtbl.create 65_536 in
   let parent = Hashtbl.create 65_536 in
   let queue = Queue.create () in

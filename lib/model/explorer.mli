@@ -22,12 +22,18 @@ type 'state stats = {
 val bfs :
   init:'state list ->
   next:('state -> 'state list) ->
+  ?key:('state -> string) ->
   invariant:('state -> (unit, string) result) ->
   ?at_quiescence:('state -> (unit, string) result) ->
   ?max_states:int ->
   unit ->
   'state stats
 (** [next] must return every successor of a state (all enabled transitions).
-    States are deduplicated structurally, so specs should keep their
-    representations canonical (sorted collections).  Exploration stops at
-    [max_states] (default 500_000) or at the first violation. *)
+    States are deduplicated structurally (their marshalled bytes), so specs
+    should keep their representations canonical (sorted collections).
+    States whose in-memory representation is {e not} canonical — e.g. the
+    real sans-I/O cores, whose token allocators and hashtable layouts vary
+    with history ({!Core_harness}) — must pass an explicit canonical [key]:
+    two states with equal keys are treated as the same state, so the key
+    must capture everything that influences future behaviour.  Exploration
+    stops at [max_states] (default 500_000) or at the first violation. *)

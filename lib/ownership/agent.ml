@@ -1,3 +1,17 @@
+(* Simulator interpreter for the sans-I/O ownership core ({!Core}).
+
+   Everything protocol lives in [Core]; this module only (a) samples the
+   runtime facts an input needs (time, epoch, view, store lookups), and
+   (b) executes the returned effects, in order, against the simulator:
+   transport sends, engine timers, store callbacks, telemetry, and the
+   caller's continuation.  Closures never enter the core — continuations
+   are keyed by request seq, timers and spans by core-allocated tokens.
+
+   The unblock / timer / span maps deliberately survive {!reset}: the
+   pre-split agent's closures outlived a fresh-incarnation reset (stale
+   timeout timers still unblocked their pre-crash callers), and the core's
+   zombie-timeout path reproduces that — see [Core.T_timeout]. *)
+
 module Engine = Zeus_sim.Engine
 module Stats = Zeus_sim.Stats
 module Metrics = Zeus_telemetry.Metrics
@@ -27,7 +41,7 @@ type callbacks = {
     unit;
 }
 
-type config = {
+type config = Core.config = {
   request_timeout_us : float;
   replay_after_us : float;
   replay_sweep_us : float;
@@ -39,31 +53,10 @@ type observer = {
   on_owner_change : key:Types.key -> owner:Types.node_id -> unit;
 }
 
-let default_config =
-  { request_timeout_us = 500.0; replay_after_us = 300.0; replay_sweep_us = 500.0 }
-
-type outstanding = {
-  o_req_id : request_id;
-  o_key : Types.key;
-  o_kind : kind;
-  started : float;
-  mutable acks : Types.node_id list;
-  mutable proto : (Ots.t * Replicas.t * Types.node_id list) option;
-  mutable data : data_snapshot option;
-  mutable unblock : ((unit, nack_reason) result -> unit) option;
-  mutable timer : Engine.event_id option;
-  o_span : Tspan.span;  (* one span per arbitration round-trip *)
-}
-
-type replay = {
-  r_pending : Directory.pending;
-  r_key : Types.key;
-  mutable r_acks : Types.node_id list;
-  mutable r_data : data_snapshot option;
-}
+let default_config = Core.default_config
 
 type t = {
-  config : config;
+  core : Core.state;
   node : Types.node_id;
   dir_nodes_of : Types.key -> Types.node_id list;
   table : Table.t;
@@ -71,25 +64,12 @@ type t = {
   cb : callbacks;
   transport : Transport.t;
   engine : Engine.t;
-  directory : Directory.t;
-      (* every node can host directory entries (with the distributed
-         directory of §6.2 each node is a directory replica for a slice of
-         the keyspace); whether this node arbitrates a given key is decided
-         by [dir_nodes_of] *)
-  side_pending : (Types.key, Directory.pending) Hashtbl.t;
-      (* arbiter pending state for keys with no directory entry here *)
-  outstanding : (int, outstanding) Hashtbl.t;
-  replays : (Types.key, replay) Hashtbl.t;
-  mutable req_seq : int;
-  mutable rr : int;
-  (* directory-side recovery gate (§5.1): epoch being drained and which
-     nodes have not yet reported recovery-done *)
-  mutable gate_epoch : int;
-  gate_waiting : (Types.node_id, unit) Hashtbl.t;
-  mutable prev_live : bool array;
+  unblocks : (int, (unit, nack_reason) result -> unit) Hashtbl.t;
+  timers : (int, Engine.event_id) Hashtbl.t;
+  spans : (int, Tspan.span) Hashtbl.t;
+  mutable span_parent : Tspan.span;
+      (* parent for the span the in-flight [Api_request] starts *)
   latency : Stats.Samples.t;
-  (* Typed counter handles over a per-agent registry: per-node stats stay
-     separate while a typo'd metric name is a compile error. *)
   metrics : Metrics.t;
   tspans : Tspan.t;
   c_started : Metrics.Counter.h;
@@ -100,29 +80,15 @@ type t = {
   c_driven : Metrics.Counter.h;
   h_arb_us : Metrics.Histogram.h;
   mutable observer : observer option;
-      (* locality engine's tap on arbitration traffic (passive: observing
-         never changes protocol behaviour) *)
+  mutable io_tap : (Core.input -> Core.eff list -> unit) option;
 }
 
-let trace : (string -> unit) option ref = ref None
-let tracef fmt =
-  match !trace with
-  | Some f -> Format.kasprintf f fmt
-  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
-
+let trace = Core.trace
 let node t = t.node
-let directory t = t.directory
+let directory t = Core.directory t.core
 let set_observer t obs = t.observer <- Some obs
-
-let notify_request t ~key ~kind ~requester =
-  match t.observer with
-  | Some o -> o.on_request ~key ~kind ~requester
-  | None -> ()
-
-let notify_owner_change t ~key ~kind ~owner =
-  match (t.observer, kind) with
-  | Some o, Acquire -> o.on_owner_change ~key ~owner
-  | Some _, (Add_reader | Remove_reader _) | None, _ -> ()
+let set_io_tap t tap = t.io_tap <- Some tap
+let core_fingerprint t = Core.fingerprint t.core
 let latency_samples t = t.latency
 let requests_started t = Metrics.Counter.get t.c_started
 let requests_won t = Metrics.Counter.get t.c_won
@@ -132,840 +98,210 @@ let replays_started t = Metrics.Counter.get t.c_replays
 let requests_driven t = Metrics.Counter.get t.c_driven
 let metrics t = t.metrics
 
-let epoch t = Service.epoch_at t.membership t.node
-let view t = Service.node_view t.membership t.node
-let live t n = View.is_live (view t) n
-let send t ~dst ?size payload = Transport.send t.transport ~src:t.node ~dst ?size payload
+(* ---------- runtime sampling --------------------------------------------- *)
 
-(* Arbitration is on the application's critical path: ring the transport
-   doorbell after each fan-out burst (the INV broadcast to arbiters, the
-   ACK/VAL replies of one handler activation) so the burst leaves coalesced
-   at the current instant instead of waiting out the flush window. *)
-let doorbell t = Transport.flush t.transport t.node
-
-let dedup nodes =
-  List.fold_left (fun acc n -> if List.mem n acc then acc else acc @ [ n ]) [] nodes
-
-(* ---------- unified arbiter state (directory entry or side table) -------- *)
-
-let is_dir_for t key = List.mem t.node (t.dir_nodes_of key)
-
-let dir_entry t key =
-  if is_dir_for t key then Directory.find t.directory key else None
-
-let find_pending t key =
-  match dir_entry t key with
-  | Some e -> e.Directory.pending
-  | None -> Hashtbl.find_opt t.side_pending key
-
-let applied_ts t key =
-  match dir_entry t key with
-  | Some e -> e.Directory.o_ts
-  | None -> (
-    match Table.find t.table key with Some obj -> obj.Obj.o_ts | None -> Ots.zero)
-
-let set_obj_ostate t key state =
-  match Table.find t.table key with
-  | Some obj -> obj.Obj.o_state <- state
-  | None -> ()
-
-let[@warning "-32"] clear_pending t key =
-  (match dir_entry t key with
-  | Some e ->
-    (match e.Directory.pending with
-    | Some p ->
-      tracef "n%d clears pending key=%d ts=%s" t.node key
-        (Format.asprintf "%a" Ots.pp p.Directory.o_ts)
-    | None -> ());
-    Directory.clear_pending e
-  | None -> Hashtbl.remove t.side_pending key);
-  set_obj_ostate t key Types.O_valid;
-  Hashtbl.remove t.replays key
-
-(* Apply a validated arbitration at this arbiter.  A directory replica
-   that lost its entry (fresh incarnation after a rejoin) re-learns it
-   here: the validated request carries the authoritative metadata. *)
-let apply_pending_here t key (p : Directory.pending) =
-  tracef "n%d applies arbitration key=%d ts=%s req=n%d" t.node key
-    (Format.asprintf "%a" Ots.pp p.Directory.o_ts)
-    p.Directory.requester;
-  let replicas = Replicas.drop_dead p.Directory.new_replicas ~live:(live t) in
-  (match dir_entry t key with
-  | Some e ->
-    Directory.apply_pending e;
-    e.Directory.replicas <- replicas
-  | None ->
-    if is_dir_for t key then begin
-      Directory.register t.directory key replicas;
-      match Directory.find t.directory key with
-      | Some e -> e.Directory.o_ts <- p.Directory.o_ts
-      | None -> ()
-    end;
-    Hashtbl.remove t.side_pending key);
-  Hashtbl.remove t.replays key;
-  set_obj_ostate t key Types.O_valid;
-  notify_owner_change t ~key ~kind:p.Directory.kind ~owner:p.Directory.requester;
-  if p.Directory.requester <> t.node then
-    t.cb.apply_arbiter ~key ~kind:p.Directory.kind ~o_ts:p.Directory.o_ts ~replicas
-      ~requester:p.Directory.requester
+let env t =
+  {
+    Core.now = Engine.now t.engine;
+    epoch = Service.epoch_at t.membership t.node;
+    live = (Service.node_view t.membership t.node).View.live;
+    self_alive = Zeus_net.Fabric.is_alive (Transport.fabric t.transport) t.node;
+    trace_on = Tspan.enabled t.tspans;
+  }
 
 let snapshot t key =
   match Table.find t.table key with
   | Some obj -> Some { value = Bytes.copy obj.Obj.data; t_version = obj.Obj.t_version }
   | None -> None
 
-(* ---------- arb-replay (§4.1): a blocked arbiter re-drives -------------- *)
+let facts_for t payload =
+  match payload with
+  | O_req { key; _ } -> { Core.no_facts with Core.f_busy = t.cb.is_busy key }
+  | O_inv { key; _ } -> (
+    let f_busy = t.cb.is_busy key in
+    match Table.find t.table key with
+    | Some obj ->
+      {
+        Core.f_exists = true;
+        f_o_ts = obj.Obj.o_ts;
+        f_is_owner = Obj.is_owner obj;
+        f_busy;
+        f_snapshot = None;
+      }
+    | None -> { Core.no_facts with Core.f_busy })
+  | O_ack { req_id; key; _ } ->
+    {
+      Core.no_facts with
+      Core.f_exists = Table.mem t.table key;
+      f_snapshot =
+        (* only a replay driver's completion can consult the snapshot *)
+        (if req_id.origin <> t.node && Core.has_replay t.core key then
+           snapshot t key
+         else None);
+    }
+  | O_resp { key; _ } -> (
+    match Table.find t.table key with
+    | Some obj ->
+      { Core.no_facts with Core.f_exists = true; f_o_ts = obj.Obj.o_ts }
+    | None -> Core.no_facts)
+  | _ -> Core.no_facts
 
-(* Driver-side finish used when the requester is dead: the replay driver
-   applies the (dead-filtered) request itself and VALs the live arbiters. *)
-let finish_replay_driverside t r =
-  let p = r.r_pending in
-  apply_pending_here t r.r_key p;
-  List.iter
-    (fun a ->
-      if a <> t.node && live t a then
-        send t ~dst:a ~size:48
-          (O_val { key = r.r_key; o_ts = p.Directory.o_ts; epoch = epoch t }))
-    p.Directory.arbiters;
-  Hashtbl.remove t.replays r.r_key
+let timer_facts t = function
+  | Core.T_replay { key; _ } ->
+    { Core.no_facts with Core.f_snapshot = snapshot t key }
+  | Core.T_timeout _ | Core.T_cleanup _ -> Core.no_facts
 
-let replay_check_complete t r =
-  let p = r.r_pending in
-  let needed = List.filter (fun a -> live t a) p.Directory.arbiters in
-  if List.for_all (fun a -> List.mem a r.r_acks) needed then begin
-    (* The designated data source may have died with the coordinator; any
-       live replica-arbiter (often this replayer) can supply the value. *)
-    if r.r_data = None then r.r_data <- snapshot t r.r_key;
-    tracef "n%d replay-complete key=%d req=n%d data=%b" t.node r.r_key
-      p.Directory.requester (r.r_data <> None);
-    if live t p.Directory.requester then
-      send t ~dst:p.Directory.requester
-        ~size:(64 + match r.r_data with Some d -> Value.size d.value | None -> 0)
-        (O_resp
-           {
-             req_id = p.Directory.req_id;
-             key = r.r_key;
-             o_ts = p.Directory.o_ts;
-             new_replicas = p.Directory.new_replicas;
-             arbiters = p.Directory.arbiters;
-             data = r.r_data;
-             epoch = epoch t;
-           })
-    else finish_replay_driverside t r
-  end
+(* ---------- effect execution --------------------------------------------- *)
 
-let start_replay t key (p : Directory.pending) =
-  if not (Hashtbl.mem t.replays key) then begin
-    tracef "n%d replays key=%d ts=%s req=n%d" t.node key
-      (Format.asprintf "%a" Ots.pp p.Directory.o_ts)
-      p.Directory.requester;
-    Metrics.Counter.incr t.c_replays;
-    (* Re-select the data source if the original one died: any live
-       replica of the pending placement can attach the value. *)
-    let p =
-      match p.Directory.data_from with
-      | Some src when not (live t src) ->
-        let candidates =
-          List.filter
-            (fun a ->
-              live t a
-              && Replicas.is_replica p.Directory.new_replicas a
-              && a <> p.Directory.requester)
-            p.Directory.arbiters
-        in
-        { p with Directory.data_from = (match candidates with c :: _ -> Some c | [] -> None) }
-      | _ -> p
-    in
-    let r = { r_pending = p; r_key = key; r_acks = [ t.node ]; r_data = None } in
-    if p.Directory.data_from = Some t.node then r.r_data <- snapshot t key;
-    tracef "n%d replay key=%d arbiters=[%s] data_from=%s" t.node key
-      (String.concat ";" (List.map string_of_int p.Directory.arbiters))
-      (match p.Directory.data_from with Some n -> string_of_int n | None -> "-");
-    Hashtbl.replace t.replays key r;
-    let e = epoch t in
-    List.iter
-      (fun a ->
-        if a <> t.node && live t a then
-          send t ~dst:a ~size:128
-            (O_inv
-               {
-                 req_id = p.Directory.req_id;
-                 key;
-                 o_ts = p.Directory.o_ts;
-                 base_ts = p.Directory.base_ts;
-                 new_replicas = p.Directory.new_replicas;
-                 kind = p.Directory.kind;
-                 requester = p.Directory.requester;
-                 arbiters = p.Directory.arbiters;
-                 data_from = p.Directory.data_from;
-                 recovery = true;
-                 driver = t.node;
-                 epoch = e;
-               }))
-      p.Directory.arbiters;
-    replay_check_complete t r
-  end
-
-(* A pending arbitration that has not resolved within [replay_after_us]
-   (lost VAL, dead requester or driver, ...) is re-driven by this arbiter;
-   the replay is idempotent so several arbiters may do this concurrently. *)
-let rec arm_replay_check t key o_ts =
-  ignore
-    (Engine.schedule t.engine ~after:t.config.replay_after_us (fun () ->
-         if Zeus_net.Fabric.is_alive (Transport.fabric t.transport) t.node then begin
-           match find_pending t key with
-           | Some p when Ots.equal p.Directory.o_ts o_ts ->
-             Hashtbl.remove t.replays key;
-             start_replay t key p;
-             doorbell t;
-             arm_replay_check t key o_ts
-           | Some p ->
-             tracef "n%d replay-check key=%d ts mismatch (pend=%s, armed=%s)" t.node key
-               (Format.asprintf "%a" Ots.pp p.Directory.o_ts)
-               (Format.asprintf "%a" Ots.pp o_ts)
-           | None -> tracef "n%d replay-check key=%d no pending" t.node key
-         end))
-
-let set_pending t key (p : Directory.pending) =
-  (match dir_entry t key with
-  | Some e -> Directory.set_pending e p
-  | None -> Hashtbl.replace t.side_pending key p);
-  (* The paper's arbiters set o_state = Invalid on INV (§4.1): a local
-     replica under arbitration must not be used by new transactions until
-     the request validates or rolls back. *)
-  set_obj_ostate t key Types.O_invalid;
-  arm_replay_check t key p.Directory.o_ts
-
-(* ---------- requester ---------------------------------------------------- *)
+let counter_handle t = function
+  | Core.C_started -> t.c_started
+  | Core.C_won -> t.c_won
+  | Core.C_nacked -> t.c_nacked
+  | Core.C_timeout -> t.c_timeout
+  | Core.C_replays -> t.c_replays
+  | Core.C_driven -> t.c_driven
 
 let restore_request_state t key =
   match Table.find t.table key with
   | Some obj when obj.Obj.o_state = Types.O_request -> obj.Obj.o_state <- Types.O_valid
   | Some _ | None -> ()
 
-let finish_outstanding t o result =
-  (match o.timer with Some ev -> Engine.cancel t.engine ev | None -> ());
-  o.timer <- None;
-  (* Close the arbitration span (idempotent — a timeout may already have
-     stamped it). *)
-  (match result with
-  | Ok () -> Tspan.finish t.tspans ~args:[ ("result", "granted") ] o.o_span
-  | Error reason ->
-    Tspan.finish t.tspans
-      ~args:
-        [
-          ("result", "denied");
-          ("reason", Format.asprintf "%a" pp_nack reason);
-        ]
-      o.o_span);
-  (match o.unblock with
-  | Some k ->
-    o.unblock <- None;
-    if Result.is_error result then restore_request_state t o.o_key;
-    k result
-  | None -> ())
-
-(* Would applying this win leave us an owner without the object's value?
-   (The data source died mid-arbitration.)  Refusing to apply keeps the
-   arbitration pending at the arbiters, whose next replay re-selects a
-   live data source. *)
-let missing_data t ~key ~kind ~data =
-  (match kind with Acquire | Add_reader -> true | Remove_reader _ -> false)
-  && data = None
-  && not (Table.mem t.table key)
-
-(* The requester has all ACKs: apply first (§4.1), unblock, then VAL. *)
-let requester_apply_and_val t ~req_id ~key ~kind ~o_ts ~replicas ~arbiters ~data =
-  tracef "n%d applies own win key=%d ts=%s" t.node key (Format.asprintf "%a" Ots.pp o_ts);
-  ignore req_id;
-  let replicas = Replicas.drop_dead replicas ~live:(live t) in
-  t.cb.apply_requester ~key ~kind ~o_ts ~replicas ~data;
-  (* If we are also a directory replica, our own metadata must reflect the
-     new placement immediately. *)
-  (match dir_entry t key with
-  | Some e ->
-    (match e.Directory.pending with
-    | Some p ->
-      tracef "n%d own-win drops pending key=%d ts=%s" t.node key
-        (Format.asprintf "%a" Ots.pp p.Directory.o_ts)
-    | None -> ());
-    e.Directory.o_ts <- o_ts;
-    e.Directory.replicas <- replicas;
-    Directory.clear_pending e
-  | None -> Hashtbl.remove t.side_pending key);
-  Hashtbl.remove t.replays key;
-  notify_owner_change t ~key ~kind ~owner:t.node;
-  let e = epoch t in
-  List.iter
-    (fun a -> if a <> t.node then send t ~dst:a ~size:48 (O_val { key; o_ts; epoch = e }))
-    arbiters
-
-let check_complete t o =
-  match o.proto with
-  | None -> ()
-  | Some (o_ts, replicas, arbiters) ->
-    if List.for_all (fun a -> a = t.node || List.mem a o.acks) arbiters then begin
-      Hashtbl.remove t.outstanding o.o_req_id.seq;
-      if missing_data t ~key:o.o_key ~kind:o.o_kind ~data:o.data then
-        (* won, but the value never arrived (data source died): fail the
-           caller and let arb-replay re-drive with a live source *)
-        finish_outstanding t o (Error Unavailable)
-      else begin
-        requester_apply_and_val t ~req_id:o.o_req_id ~key:o.o_key ~kind:o.o_kind ~o_ts
-          ~replicas ~arbiters ~data:o.data;
-        Metrics.Counter.incr t.c_won;
-        let dt = Engine.now t.engine -. o.started in
-        Stats.Samples.add t.latency dt;
-        Metrics.Histogram.observe t.h_arb_us dt;
-        finish_outstanding t o (Ok ())
-      end
-    end
-
-let request ?(parent = Tspan.null_span) t ~key ~kind ~k =
-  tracef "n%d requests %s for key %d" t.node (Format.asprintf "%a" Messages.pp_kind kind) key;
-  Metrics.Counter.incr t.c_started;
-  let seq = t.req_seq in
-  t.req_seq <- seq + 1;
-  let req_id = { origin = t.node; seq } in
-  let live_dirs = List.filter (fun d -> live t d) (t.dir_nodes_of key) in
-  match live_dirs with
-  | [] -> k (Error Unavailable)
-  | _ ->
-    let driver =
-      (* Prefer driving locally when we are a directory replica that knows
-         the key (2-hop fast path, §4.2); a freshly rejoined replica that
-         lost its entries falls back to a peer. *)
-      if List.mem t.node live_dirs && dir_entry t key <> None then t.node
-      else begin
-        let candidates =
-          match List.filter (fun d -> d <> t.node) live_dirs with
-          | [] -> live_dirs
-          | l -> l
-        in
-        t.rr <- t.rr + 1;
-        List.nth candidates (t.rr mod List.length candidates)
-      end
+let exec_telemetry t = function
+  | Core.Count c -> Metrics.Counter.incr (counter_handle t c)
+  | Core.Arb_latency dt ->
+    Stats.Samples.add t.latency dt;
+    Metrics.Histogram.observe t.h_arb_us dt
+  | Core.Span_start { token; key; kind; driver } ->
+    let span =
+      Tspan.start_span t.tspans ~cat:"ownership" ~pid:t.node ~parent:t.span_parent
+        ~args:
+          [
+            ("key", string_of_int key);
+            ("kind", Format.asprintf "%a" Messages.pp_kind kind);
+            ("driver", if driver = t.node then "local" else "remote");
+            ("driver_node", string_of_int driver);
+          ]
+        "arbitration"
     in
-    let o =
-      {
-        o_req_id = req_id;
-        o_key = key;
-        o_kind = kind;
-        started = Engine.now t.engine;
-        acks = [];
-        proto = None;
-        data = None;
-        unblock = Some k;
-        timer = None;
-        o_span =
-          (* Guarded: the args include a [Format.asprintf], far too heavy
-             to evaluate when tracing is off. *)
-          (if Tspan.enabled t.tspans then
-             Tspan.start_span t.tspans ~cat:"ownership" ~pid:t.node ~parent
-               ~args:
-                 [
-                   ("key", string_of_int key);
-                   ("kind", Format.asprintf "%a" Messages.pp_kind kind);
-                   ("driver", if driver = t.node then "local" else "remote");
-                   ("driver_node", string_of_int driver);
-                 ]
-               "arbitration"
-           else Tspan.null_span);
-      }
-    in
-    Hashtbl.replace t.outstanding seq o;
-    (match Table.find t.table key with
-    | Some obj -> obj.Obj.o_state <- Types.O_request
-    | None -> ());
-    o.timer <-
-      Some
-        (Engine.schedule t.engine ~after:t.config.request_timeout_us (fun () ->
-             o.timer <- None;
-             if o.unblock <> None then begin
-               Metrics.Counter.incr t.c_timeout;
-               Tspan.finish t.tspans ~args:[ ("result", "timeout") ] o.o_span;
-               finish_outstanding t o (Error Busy);
-               (* Keep the record a while longer: a late win is still
-                  applied (the app's retry then finds it owns the object).
-                  Afterwards the self-contained O_resp path takes over. *)
-               ignore
-                 (Engine.schedule t.engine ~after:(4.0 *. t.config.request_timeout_us)
-                    (fun () -> Hashtbl.remove t.outstanding seq))
-             end));
-    send t ~dst:driver ~size:64
-      (O_req
-         {
-           req_id;
-           key;
-           kind;
-           requester = t.node;
-           requester_has_data = Table.mem t.table key;
-           epoch = epoch t;
-         });
-    doorbell t
+    Hashtbl.replace t.spans token span
+  | Core.Span_finish { token; outcome } -> (
+    match Hashtbl.find_opt t.spans token with
+    | Some span ->
+      let args =
+        match outcome with
+        | Core.Granted -> [ ("result", "granted") ]
+        | Core.Timeout -> [ ("result", "timeout") ]
+        | Core.Denied reason ->
+          [
+            ("result", "denied");
+            ("reason", Format.asprintf "%a" pp_nack reason);
+          ]
+      in
+      Tspan.finish t.tspans ~args span
+    | None -> ())
+  | Core.Span_forget token -> Hashtbl.remove t.spans token
 
-(* ---------- driver (a directory node serving REQ) ------------------------ *)
-
-let nack t ~dst ~req_id ~key ?o_ts reason =
-  send t ~dst ~size:48 (O_nack { req_id; key; o_ts; reason; epoch = epoch t })
-
-let compute_replicas replicas kind ~requester =
-  match kind with
-  | Acquire -> Replicas.promote replicas ~new_owner:requester
-  | Add_reader -> Replicas.add_reader replicas requester
-  | Remove_reader r -> Replicas.remove_reader replicas r
-
-let gate_active t = t.gate_epoch >= 0 && Hashtbl.length t.gate_waiting > 0
-
-let handle_req t ~req_id ~key ~kind ~requester ~requester_has_data =
-  if not (is_dir_for t key) then ()
-  else (
-    Metrics.Counter.incr t.c_driven;
-    notify_request t ~key ~kind ~requester;
-    match Directory.find t.directory key with
-    | None -> nack t ~dst:requester ~req_id ~key Unknown_key
-    | Some entry ->
-      let replicas = entry.Directory.replicas in
-      let owner = replicas.Replicas.owner in
-      let owner_dead = match owner with Some o -> not (live t o) | None -> true in
-      if gate_active t && owner_dead then nack t ~dst:requester ~req_id ~key Recovering
-      else if entry.Directory.pending <> None then nack t ~dst:requester ~req_id ~key Busy
-      else if kind = Acquire && owner = Some requester then
-        (* Already the owner (e.g. a retried request that in fact won):
-           confirm trivially with a single-arbiter ACK. *)
-        send t ~dst:requester ~size:64
-          (O_ack
-             {
-               req_id;
-               key;
-               o_ts = entry.Directory.o_ts;
-               new_replicas = replicas;
-               arbiters = [ t.node ];
-               sender = t.node;
-               data = None;
-               epoch = epoch t;
-             })
-      else begin
-        let need_data =
-          (* The requester's has-data flag can be stale: it may have been
-             trimmed as a reader after sampling it (a Remove_reader it has
-             not yet applied).  The directory's replica list is the
-             authority — ship the value unless the requester both claims
-             and is recorded to hold a replica. *)
-          (match kind with Acquire | Add_reader -> true | Remove_reader _ -> false)
-          && not (requester_has_data && Replicas.is_replica replicas requester)
-        in
-        let data_from =
-          if not need_data then None
-          else
-            match owner with
-            | Some o when live t o -> Some o
-            | _ -> List.find_opt (fun r -> live t r) replicas.Replicas.readers
-        in
-        if need_data && data_from = None then
-          nack t ~dst:requester ~req_id ~key Unavailable
-        else begin
-          let o_ts = Ots.next entry.Directory.o_ts ~node:t.node in
-          let arbiters =
-            let extra =
-              (match owner with Some o when live t o -> [ o ] | _ -> [])
-              @ (match data_from with Some nd -> [ nd ] | None -> [])
-              @ (match kind with Remove_reader r when live t r -> [ r ] | _ -> [])
-            in
-            List.filter (fun a -> a <> requester)
-              (dedup (List.filter (fun dn -> live t dn) (t.dir_nodes_of key) @ extra))
-          in
-          (* Fast path: the driver is itself the (busy) owner. *)
-          if owner = Some t.node && t.cb.is_busy key then
-            nack t ~dst:requester ~req_id ~key Busy
-          else begin
-            let p =
-              {
-                Directory.req_id;
-                o_ts;
-                base_ts = entry.Directory.o_ts;
-                new_replicas = compute_replicas replicas kind ~requester;
-                kind;
-                requester;
-                arbiters;
-                data_from;
-                driving = true;
-                born = Engine.now t.engine;
-              }
-            in
-            set_pending t key p;
-            let e = epoch t in
-            List.iter
-              (fun a ->
-                if a <> t.node then
-                  send t ~dst:a ~size:128
-                    (O_inv
-                       {
-                         req_id;
-                         key;
-                         o_ts;
-                         base_ts = p.Directory.base_ts;
-                         new_replicas = p.Directory.new_replicas;
-                         kind;
-                         requester;
-                         arbiters;
-                         data_from;
-                         recovery = false;
-                         driver = t.node;
-                         epoch = e;
-                       }))
-              arbiters;
-            (* The driver is an arbiter too: its own ACK. *)
-            let data = if data_from = Some t.node then snapshot t key else None in
-            send t ~dst:requester
-              ~size:(64 + match data with Some s -> Value.size s.value | None -> 0)
-              (O_ack
-                 {
-                   req_id;
-                   key;
-                   o_ts;
-                   new_replicas = p.Directory.new_replicas;
-                   arbiters;
-                   sender = t.node;
-                   data;
-                   epoch = e;
-                 })
-          end
-        end
-      end)
-
-(* ---------- arbiter ------------------------------------------------------ *)
-
-let handle_inv t ~req_id ~key ~o_ts ~base_ts ~new_replicas ~kind ~requester ~arbiters
-    ~data_from ~recovery ~driver =
-  let reply_dst = if recovery then driver else requester in
-  let reply_data () = if data_from = Some t.node then snapshot t key else None in
-  let ack () =
-    let data = reply_data () in
-    send t ~dst:reply_dst
+let rec exec_eff t (e : Core.eff) =
+  match e with
+  | Core.Send { dst; size; payload } ->
+    Transport.send t.transport ~src:t.node ~dst ~size payload
+  | Core.Send_ack_local_data { dst; req_id; key; o_ts; new_replicas; arbiters; epoch }
+    ->
+    let data = snapshot t key in
+    Transport.send t.transport ~src:t.node ~dst
       ~size:(64 + match data with Some s -> Value.size s.value | None -> 0)
       (O_ack
-         {
-           req_id;
-           key;
-           o_ts;
-           new_replicas;
-           arbiters;
-           sender = t.node;
-           data;
-           epoch = epoch t;
-         })
-  in
-  let applied = applied_ts t key in
-  let pend = find_pending t key in
-  if Ots.equal o_ts applied then ack () (* already applied: idempotent re-ACK *)
-  else if match pend with Some p -> Ots.equal p.Directory.o_ts o_ts | None -> false
-  then ack () (* already buffered: re-ACK *)
-  else begin
-    let beats_applied = Ots.(o_ts > applied) in
-    let beats_pending =
-      match pend with Some p -> Ots.(o_ts > p.Directory.o_ts) | None -> true
+         { req_id; key; o_ts; new_replicas; arbiters; sender = t.node; data; epoch })
+  | Core.Flush -> Transport.flush t.transport t.node
+  | Core.Set_timer { token; after; kind } ->
+    let ev =
+      Engine.schedule t.engine ~after (fun () ->
+          Hashtbl.remove t.timers token;
+          feed t
+            (Core.Timer_fire
+               { token; kind; facts = timer_facts t kind; env = env t }))
     in
-    if beats_applied && beats_pending then begin
-      (* If we were driving a competing (lower-ts) request, it just lost:
-         tell its requester (§4.1, contention resolution). *)
-      (match pend with
-      | Some p when p.Directory.driving ->
-        nack t ~dst:p.Directory.requester ~req_id:p.Directory.req_id ~key
-          Lost_arbitration
-      | Some _ | None -> ());
-      (* A buffered arbitration this INV was *based on* has provably won
-         (its requester applied it and the new driver's entry reflects it):
-         apply it now rather than losing its effects to the replacement —
-         its VAL may never reach us, and the successor may roll back.
-         (Found via randomized fault injection: dropping it could leave a
-         demotion unapplied and two live owners.) *)
-      (match pend with
-      | Some p when Ots.equal p.Directory.o_ts base_ts -> apply_pending_here t key p
-      | Some _ | None -> ());
-      let busy_here =
-        t.cb.is_busy key
-        && ((match Table.find t.table key with
-            | Some obj -> Obj.is_owner obj
-            | None -> false)
-           || match kind with Remove_reader r -> r = t.node | _ -> false)
-      in
-      if busy_here then
-        (* Owner-side busy NACK (§4.1): tell the requester so its
-           application retries, but do NOT roll the arbiters back and do
-           not buffer — an arbitration, once started, always completes
-           (the arbiters' replays keep re-driving it; we ACK when the
-           pipeline quiesces).  An earlier design rolled the arbiters back
-           here; the model checker showed the rollback can race ahead of
-           the arbitration's own in-flight INVs, leaving a zombie
-           arbitration that later resurrects over a newer owner. *)
-        begin
-          tracef "n%d busy-nacks INV key=%d ts=%s req=n%d rec=%b" t.node key
-            (Format.asprintf "%a" Ots.pp o_ts) requester recovery;
-          nack t ~dst:requester ~req_id ~key Busy
-        end
-      else begin
-        tracef "n%d buffers INV key=%d ts=%s req=n%d rec=%b" t.node key
-          (Format.asprintf "%a" Ots.pp o_ts) requester recovery;
-        set_pending t key
-          {
-            Directory.req_id;
-            o_ts;
-            base_ts;
-            new_replicas;
-            kind;
-            requester;
-            arbiters;
-            data_from;
-            driving = false;
-            born = Engine.now t.engine;
-          };
-        ack ()
-      end
-    end
-    else
-      (* stale or beaten INV — ignore; its requester can never collect
-         all ACKs, and its driver will learn when the winner's INV reaches it. *)
-      tracef "n%d ignores stale INV key=%d ts=%s applied=%s pend=%s rec=%b" t.node
-        key
-        (Format.asprintf "%a" Ots.pp o_ts)
-        (Format.asprintf "%a" Ots.pp applied)
-        (match pend with
-        | Some p -> Format.asprintf "%a" Ots.pp p.Directory.o_ts
-        | None -> "-")
-        recovery
-  end
+    Hashtbl.replace t.timers token ev
+  | Core.Cancel_timer token -> (
+    match Hashtbl.find_opt t.timers token with
+    | Some ev ->
+      Engine.cancel t.engine ev;
+      Hashtbl.remove t.timers token
+    | None -> ())
+  | Core.Apply_arbiter { key; kind; o_ts; replicas; requester } ->
+    t.cb.apply_arbiter ~key ~kind ~o_ts ~replicas ~requester
+  | Core.Apply_requester { key; kind; o_ts; replicas; data } ->
+    t.cb.apply_requester ~key ~kind ~o_ts ~replicas ~data
+  | Core.Set_o_state { key; o_state } -> (
+    match Table.find t.table key with
+    | Some obj -> obj.Obj.o_state <- o_state
+    | None -> ())
+  | Core.Restore_request_state key -> restore_request_state t key
+  | Core.Drop_dead_replicas { live } ->
+    Table.iter t.table (fun obj ->
+        if Obj.is_owner obj then
+          match obj.Obj.o_replicas with
+          | Some r ->
+            obj.Obj.o_replicas <- Some (Replicas.drop_dead r ~live:(fun n -> live.(n)))
+          | None -> ())
+  | Core.Notify_request { key; kind; requester } -> (
+    match t.observer with
+    | Some o -> o.on_request ~key ~kind ~requester
+    | None -> ())
+  | Core.Notify_owner_change { key; owner } -> (
+    match t.observer with
+    | Some o -> o.on_owner_change ~key ~owner
+    | None -> ())
+  | Core.Unblock { seq; result } -> (
+    match Hashtbl.find_opt t.unblocks seq with
+    | Some k ->
+      Hashtbl.remove t.unblocks seq;
+      k result
+    | None -> ())
+  | Core.Telemetry tele -> exec_telemetry t tele
 
-let handle_val t ~key ~o_ts =
-  match find_pending t key with
-  | Some p when Ots.equal p.Directory.o_ts o_ts -> apply_pending_here t key p
-  | Some _ | None -> ()
+and feed t input =
+  let _, effs = Core.handle ~dir:t.dir_nodes_of t.core input in
+  (match t.io_tap with Some tap -> tap input effs | None -> ());
+  List.iter (exec_eff t) effs
 
-(* ---------- dispatch ------------------------------------------------------ *)
+(* ---------- public API ---------------------------------------------------- *)
 
-let handle_ack t ~req_id ~key ~o_ts ~new_replicas ~arbiters ~sender ~data =
-  if req_id.origin = t.node then begin
-    match Hashtbl.find_opt t.outstanding req_id.seq with
-    | Some o ->
-      (match o.proto with
-      | None -> o.proto <- Some (o_ts, new_replicas, arbiters)
-      | Some (ts0, _, _) ->
-        if not (Ots.equal ts0 o_ts) then o.proto <- Some (o_ts, new_replicas, arbiters));
-      (match data with Some _ -> o.data <- data | None -> ());
-      if not (List.mem sender o.acks) then o.acks <- sender :: o.acks;
-      check_complete t o
-    | None -> ()
-  end
-  else begin
-    (* Recovery ACK: we are (one of) the replay driver(s) for this key. *)
-    match Hashtbl.find_opt t.replays key with
-    | Some r when Ots.equal r.r_pending.Directory.o_ts o_ts ->
-      (match data with Some _ -> r.r_data <- data | None -> ());
-      if not (List.mem sender r.r_acks) then r.r_acks <- sender :: r.r_acks;
-      replay_check_complete t r
-    | Some _ | None -> ()
-  end
-
-let handle_nack t ~req_id ~key ~o_ts ~reason =
-  ignore key;
-  ignore o_ts;
-  if req_id.origin = t.node then begin
-    match Hashtbl.find_opt t.outstanding req_id.seq with
-    | Some o ->
-      Hashtbl.remove t.outstanding req_id.seq;
-      Metrics.Counter.incr t.c_nacked;
-      finish_outstanding t o (Error reason)
-    | None -> ()
-  end
-
-let handle_resp t ~req_id ~key ~o_ts ~new_replicas ~arbiters ~data =
-  (* Replay driver confirmed our (possibly long forgotten) win: apply first,
-     then VAL, exactly as in the failure-free path.  Idempotent. *)
-  if missing_data t ~key ~kind:Acquire ~data then
-    tracef "n%d drops RESP key=%d ts=%s (no data anywhere)" t.node key
-      (Format.asprintf "%a" Ots.pp o_ts)
-  else
-  (match Hashtbl.find_opt t.outstanding req_id.seq with
-  | Some o ->
-    Hashtbl.remove t.outstanding req_id.seq;
-    Metrics.Counter.incr t.c_won;
-    let dt = Engine.now t.engine -. o.started in
-    Stats.Samples.add t.latency dt;
-    Metrics.Histogram.observe t.h_arb_us dt;
-    requester_apply_and_val t ~req_id ~key ~kind:o.o_kind ~o_ts ~replicas:new_replicas
-      ~arbiters ~data;
-    finish_outstanding t o (Ok ())
-  | None ->
-    let applied = applied_ts t key in
-    let pend_matches =
-      match find_pending t key with
-      | Some p -> Ots.equal p.Directory.o_ts o_ts
-      | None -> false
-    in
-    (* Apply only a RESP that is new to us (or completes the exact pending
-       arbitration).  A stale RESP for an old request must not clobber a
-       newer pending arbitration — found by the model checker. *)
-    if Ots.(o_ts > applied) || pend_matches then
-      requester_apply_and_val t ~req_id ~key ~kind:Acquire ~o_ts ~replicas:new_replicas
-        ~arbiters ~data
-    else
-      (* Already applied (or superseded): the replay driver is only missing
-         our VALs — re-broadcast them so the blocked arbiters validate.
-         Found by the model checker: without this, an arbiter whose VAL was
-         lost across an epoch change replays forever while the requester
-         ignores every RESP. *)
-      let e = epoch t in
-      List.iter
-        (fun a ->
-          if a <> t.node && live t a then
-            send t ~dst:a ~size:48 (O_val { key; o_ts; epoch = e }))
-        arbiters)
-
-let handle_recovery_done t ~sender ~msg_epoch =
-  if msg_epoch = t.gate_epoch then begin
-    Hashtbl.remove t.gate_waiting sender;
-    if Hashtbl.length t.gate_waiting = 0 then t.gate_epoch <- -1
-  end
-
-let handle_payload t ~src payload =
-  let e = epoch t in
-  match payload with
-  | O_req { req_id; key; kind; requester; requester_has_data; epoch } ->
-    if epoch = e then handle_req t ~req_id ~key ~kind ~requester ~requester_has_data;
-    true
-  | O_inv
-      {
-        req_id;
-        key;
-        o_ts;
-        base_ts;
-        new_replicas;
-        kind;
-        requester;
-        arbiters;
-        data_from;
-        recovery;
-        driver;
-        epoch;
-      } ->
-    if epoch = e then
-      handle_inv t ~req_id ~key ~o_ts ~base_ts ~new_replicas ~kind ~requester ~arbiters
-        ~data_from ~recovery ~driver;
-    true
-  | O_ack { req_id; key; o_ts; new_replicas; arbiters; sender; data; epoch } ->
-    if epoch = e then handle_ack t ~req_id ~key ~o_ts ~new_replicas ~arbiters ~sender ~data;
-    true
-  | O_val { key; o_ts; epoch } ->
-    if epoch = e then handle_val t ~key ~o_ts;
-    true
-  | O_nack { req_id; key; o_ts; reason; epoch } ->
-    if epoch = e then handle_nack t ~req_id ~key ~o_ts ~reason;
-    true
-  | O_resp { req_id; key; o_ts; new_replicas; arbiters; data; epoch } ->
-    if epoch = e then handle_resp t ~req_id ~key ~o_ts ~new_replicas ~arbiters ~data;
-    true
-  | O_recovery_done { node; epoch } ->
-    handle_recovery_done t ~sender:node ~msg_epoch:epoch;
-    ignore src;
-    true
-  | O_register { key; replicas } ->
-    if is_dir_for t key then Directory.register t.directory key replicas;
-    true
-  | O_forget { key } ->
-    Directory.forget t.directory key;
-    true
-  | _ -> false
+let request ?(parent = Tspan.null_span) t ~key ~kind ~k =
+  let seq = Core.next_seq t.core in
+  Hashtbl.replace t.unblocks seq k;
+  t.span_parent <- parent;
+  feed t
+    (Core.Api_request
+       {
+         key;
+         kind;
+         facts = { Core.no_facts with Core.f_exists = Table.mem t.table key };
+         env = env t;
+       });
+  t.span_parent <- Tspan.null_span
 
 let handle t ~src payload =
-  let handled = handle_payload t ~src payload in
-  if handled then doorbell t;
-  handled
+  if Core.handles_payload payload then begin
+    feed t (Core.Deliver { src; payload; facts = facts_for t payload; env = env t });
+    true
+  end
+  else false
 
-(* ---------- registration, recovery, membership --------------------------- *)
-
-let seed_directory t key replicas =
-  if is_dir_for t key then Directory.register t.directory key replicas
-
+let seed_directory t key replicas = feed t (Core.Api_seed { key; replicas })
 let register_object t key replicas =
-  List.iter
-    (fun dn ->
-      if dn = t.node then seed_directory t key replicas
-      else if live t dn then send t ~dst:dn ~size:64 (O_register { key; replicas }))
-    (t.dir_nodes_of key)
+  feed t (Core.Api_register { key; replicas; env = env t })
 
-let forget_object t key =
-  List.iter
-    (fun dn ->
-      if dn = t.node then Directory.forget t.directory key
-      else if live t dn then send t ~dst:dn ~size:48 (O_forget { key }))
-    (t.dir_nodes_of key)
+let forget_object t key = feed t (Core.Api_forget { key; env = env t })
 
-(* With the distributed directory any node may host gated entries, so the
-   announcement goes to every live node. *)
-let announce_recovery_done t ~epoch:ep =
-  List.iter
-    (fun dn ->
-      if dn = t.node then handle_recovery_done t ~sender:t.node ~msg_epoch:ep
-      else if live t dn then
-        send t ~dst:dn ~size:32 (O_recovery_done { node = t.node; epoch = ep }))
-    (View.live_list (view t));
-  doorbell t
+let announce_recovery_done t ~epoch =
+  feed t (Core.Api_recovery_done { epoch; env = env t })
 
 let on_view_change t (v : View.t) =
-  let lost = ref false in
-  Array.iteri
-    (fun i was -> if was && not (View.is_live v i) then lost := true)
-    t.prev_live;
-  t.prev_live <- Array.copy v.View.live;
-  let alive n = View.is_live v n in
-  (* Drop dead nodes from applied metadata (§4.1). *)
-  Directory.drop_dead t.directory ~live:alive;
-  Table.iter t.table (fun obj ->
-      if Obj.is_owner obj then
-        match obj.Obj.o_replicas with
-        | Some r -> obj.Obj.o_replicas <- Some (Replicas.drop_dead r ~live:alive)
-        | None -> ());
-  (* Fail requests from the previous epoch; the application retries. *)
-  let stale = Hashtbl.fold (fun seq _ acc -> seq :: acc) t.outstanding [] in
-  List.iter
-    (fun seq ->
-      match Hashtbl.find_opt t.outstanding seq with
-      | Some o ->
-        Hashtbl.remove t.outstanding seq;
-        finish_outstanding t o (Error Busy)
-      | None -> ())
-    stale;
-  Hashtbl.reset t.replays;
-  (* Directory replicas gate orphaned objects until every live node has
-     drained pending reliable commits from dead coordinators (§5.1). *)
-  if !lost then begin
-    t.gate_epoch <- v.View.epoch;
-    Hashtbl.reset t.gate_waiting;
-    List.iter (fun n -> Hashtbl.replace t.gate_waiting n ()) (View.live_list v)
-  end;
-  (* Blocked arbitrations are re-driven shortly (arb-replay). *)
-  let pendings = ref [] in
-  Directory.iter t.directory (fun e ->
-      match e.Directory.pending with
-      | Some p -> pendings := (e.Directory.key, p) :: !pendings
-      | None -> ());
-  Hashtbl.iter (fun key p -> pendings := (key, p) :: !pendings) t.side_pending;
-  List.iter
-    (fun (key, (p : Directory.pending)) -> arm_replay_check t key p.Directory.o_ts)
-    !pendings
+  feed t
+    (Core.View_change { view_epoch = v.View.epoch; live = v.View.live; env = env t })
 
-(* Fresh-incarnation reset (a rejoining node returns empty, §3.1's
-   crash-stop model): all protocol state is dropped; directory entries are
-   re-learnt lazily from validated arbitrations. *)
-let reset t =
-  Hashtbl.reset t.side_pending;
-  Hashtbl.reset t.outstanding;
-  Hashtbl.reset t.replays;
-  Hashtbl.reset t.gate_waiting;
-  t.gate_epoch <- -1;
-  let keys = ref [] in
-  Directory.iter t.directory (fun e -> keys := e.Directory.key :: !keys);
-  List.iter (Directory.forget t.directory) !keys
+let reset t = feed t Core.Reset
 
 let create ?(config = default_config) ?telemetry ~node ~dir_nodes_of ~table ~membership
     ~callbacks transport =
@@ -975,7 +311,7 @@ let create ?(config = default_config) ?telemetry ~node ~dir_nodes_of ~table ~mem
   let metrics = Metrics.create () in
   let t =
     {
-      config;
+      core = Core.create ~config ~self:node ~nodes ();
       node;
       dir_nodes_of;
       table;
@@ -983,15 +319,10 @@ let create ?(config = default_config) ?telemetry ~node ~dir_nodes_of ~table ~mem
       cb = callbacks;
       transport;
       engine;
-      directory = Directory.create ~node;
-      side_pending = Hashtbl.create 64;
-      outstanding = Hashtbl.create 64;
-      replays = Hashtbl.create 16;
-      req_seq = 0;
-      rr = node;
-      gate_epoch = -1;
-      gate_waiting = Hashtbl.create 8;
-      prev_live = Array.make nodes true;
+      unblocks = Hashtbl.create 64;
+      timers = Hashtbl.create 64;
+      spans = Hashtbl.create 64;
+      span_parent = Tspan.null_span;
       latency = Stats.Samples.create (Engine.fork_rng engine);
       metrics;
       tspans = Hub.trace hub;
@@ -1003,6 +334,7 @@ let create ?(config = default_config) ?telemetry ~node ~dir_nodes_of ~table ~mem
       c_driven = Metrics.Counter.v metrics "ownership.requests_driven";
       h_arb_us = Metrics.Histogram.v metrics "ownership.arbitration_us";
       observer = None;
+      io_tap = None;
     }
   in
   Service.subscribe membership node (fun v -> on_view_change t v);

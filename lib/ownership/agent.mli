@@ -49,7 +49,7 @@ type callbacks = {
       (** this node's own request won: install the object/access level *)
 }
 
-type config = {
+type config = Core.config = {
   request_timeout_us : float;
       (** requester gives up (the app will retry with backoff) *)
   replay_after_us : float;
@@ -154,3 +154,14 @@ val requests_driven : t -> int
 val metrics : t -> Zeus_telemetry.Metrics.t
 (** The agent's typed registry (counters under ["ownership."], plus the
     ["ownership.arbitration_us"] histogram). *)
+
+(** Record / replay *)
+
+val set_io_tap : t -> (Core.input -> Core.eff list -> unit) -> unit
+(** Observe every (input, effects) pair fed through the sans-I/O core, in
+    order.  Inputs embed their sampled [env]/[facts], so a recorded
+    sequence replayed into a fresh {!Core.state} reproduces the same
+    states and effect lists deterministically. *)
+
+val core_fingerprint : t -> string
+(** {!Core.fingerprint} of the live core (replay-equivalence checks). *)

@@ -23,6 +23,7 @@ let () =
       ("tpcc", Test_tpcc.suite);
       ("experiments", Test_experiments.suite);
       ("properties", Test_properties.suite);
+      ("replay", Test_replay.suite);
       ("transport-props", Test_transport_props.suite);
       ("chaos", Test_chaos.suite);
     ]
