@@ -38,7 +38,7 @@ chaos-smoke: build
 	rm -f BENCH_faults.json
 	dune exec bench/main.exe -- --quick faults
 	@test -s BENCH_faults.json || { echo "chaos-smoke: BENCH_faults.json missing or empty" >&2; exit 1; }
-	@for key in follower owner directory baseline_mtps dip_mtps recovery_us timeline monitors_ok; do \
+	@for key in follower owner directory reorder baseline_mtps dip_mtps recovery_us timeline monitors_ok; do \
 	  grep -q "\"$$key\"" BENCH_faults.json || { echo "chaos-smoke: key \"$$key\" missing from BENCH_faults.json" >&2; exit 1; }; \
 	done
 	@if grep -q '"recovery_us": null' BENCH_faults.json; then \
@@ -102,9 +102,10 @@ perf-smoke: build
 # per-scenario explored-state counts land in the log.
 model-smoke: build
 	rm -f model-smoke.log
-	dune exec bin/zeus_cli.exe -- model --quick > model-smoke.log 2>&1 || { cat model-smoke.log >&2; exit 1; }
+	dune exec bin/zeus_cli.exe -- model --quick --trace > model-smoke.log 2>&1 || { cat model-smoke.log >&2; exit 1; }
 	@cat model-smoke.log
 	@grep -q "states explored across" model-smoke.log || { echo "model-smoke: no state-count summary in output" >&2; exit 1; }
+	@grep -q "reordered links" model-smoke.log || { echo "model-smoke: reordering scenarios missing from run" >&2; exit 1; }
 	@echo "model-smoke: real-core exploration OK"
 
 # Re-capture the wall-clock reference on this machine: run the perf harness

@@ -312,6 +312,12 @@ let model_cmd =
     report "ownership core: owner/driver crash, 1 requester" O.pp_state
       (O.explore ~config:{ O.default_config with O.requesters = [ 3 ] } ~max_states:cap ());
     report "ownership core: contention + crash" O.pp_state (O.explore ~max_states:cap ());
+    (* The ownership scenarios above all run with [fifo = false] — the net
+       is an arbitrarily reordered multiset, pinning that the ownership
+       protocol never leans on link order.  The FIFO run below is the
+       strict-subset sanity check (ordered transport). *)
+    report "ownership core: contention + crash, FIFO links" O.pp_state
+      (O.explore ~config:{ O.default_config with O.fifo = true } ~max_states:cap ());
     report "commit core: pipelined, partial streams" C.pp_state
       (C.explore ~config:{ C.default_config with C.crash = false } ~max_states:cap ());
     report "commit core: duplication" C.pp_state
@@ -320,26 +326,47 @@ let model_cmd =
          ~max_states:cap ());
     report "commit core: coordinator crash + replay" C.pp_state
       (C.explore ~max_states:cap ());
-    (* Negative control: without the transport's in-order guarantee the
-       commit protocol HAS a known liveness hole (an R-VAL overtaking a
-       pipe's first R-INV leaves that INV buffered forever).  The checker
-       must still be able to find that seeded counterexample — losing it
-       would mean the harness lost its nondeterminism. *)
+    (* Reordering runs: with the sequence-aware clear marks (the default)
+       the commit protocol must stay safe AND live on links that permute
+       delivery — the historical VAL-overtakes-first-INV deadlock is
+       closed by protocol, not by leaning on the transport. *)
+    report "commit core: reordered links" C.pp_state
+      (C.explore
+         ~config:{ C.default_config with C.crash = false; fifo = false }
+         ~max_states:cap ());
+    report "commit core: reordered links + crash/replay" C.pp_state
+      (C.explore ~config:{ C.default_config with C.fifo = false } ~max_states:cap ());
+    (* Negative control: the historical arrival-order clearing
+       ([clear_marks = Legacy]) HAS the liveness hole under reordering (an
+       R-VAL overtaking a pipe's first R-INV leaves that INV buffered
+       forever).  The checker must still find that seeded counterexample —
+       losing it would mean the harness lost its nondeterminism. *)
     (let stats =
        C.explore
-         ~config:{ C.default_config with C.crash = false; fifo = false }
+         ~config:
+           {
+             C.default_config with
+             C.crash = false;
+             fifo = false;
+             clear_marks = Zeus_commit.Core.Legacy;
+           }
          ~max_states:(min cap 20_000) ()
      in
      total := !total + stats.E.explored;
      match stats.E.violation with
      | Some (_, msg) ->
        Tel.Tlog.infof "%-48s deadlock reproduced after %d states (expected): %s"
-         "commit core: reordered links (negative control)" stats.E.explored msg
+         "commit core: reordered links, legacy clear marks" stats.E.explored msg;
+       (* the pinned counterexample is the artifact model-smoke archives *)
+       if show_trace then
+         List.iteri
+           (fun i s -> Format.eprintf "--- step %d ---@.%a@." i C.pp_state s)
+           stats.E.trace
      | None ->
        failed := true;
        Tel.Tlog.infof "%-48s FAILED to reproduce the seeded reordering deadlock"
-         "commit core: reordered links (negative control)");
-    Tel.Tlog.infof "total: %d states explored across 8 scenarios" !total;
+         "commit core: reordered links, legacy clear marks");
+    Tel.Tlog.infof "total: %d states explored across 11 scenarios" !total;
     if !failed then `Error (false, "model checking found a violation")
     else if !total < 10_000 then
       `Error

@@ -30,7 +30,7 @@ let node_of = function
   | Schedule.Crash n | Restart n | Slow { node = n; _ } | Slow_end n -> n
   | Partition (a, _) | Heal (a, _) -> a
   | Partition_oneway { src; _ } | Heal_oneway { src; _ } -> src
-  | Heal_all | Spike _ | Spike_end -> 0
+  | Heal_all | Spike _ | Spike_end | Scramble _ | Scramble_end -> 0
 
 let instant t fault =
   let tr = Cluster.trace t.cluster in
@@ -43,10 +43,10 @@ let instant t fault =
 (* Heals close an incident; they must not push the monitor's steady-state
    grace window further out, or back-to-back windows would starve it. *)
 let disruptive = function
-  | Schedule.Crash _ | Restart _ | Partition _ | Partition_oneway _ | Spike _ | Slow _
-    ->
+  | Schedule.Crash _ | Restart _ | Partition _ | Partition_oneway _ | Spike _
+  | Scramble _ | Slow _ ->
     true
-  | Heal _ | Heal_oneway _ | Heal_all | Spike_end | Slow_end _ -> false
+  | Heal _ | Heal_oneway _ | Heal_all | Spike_end | Scramble_end | Slow_end _ -> false
 
 let apply t cnt (fault : Schedule.fault) =
   let c = t.cluster in
@@ -94,6 +94,14 @@ let apply t cnt (fault : Schedule.fault) =
       true
     | Spike_end ->
       Fabric.set_perturb fabric None;
+      Metrics.Counter.incr cnt.c_spikes;
+      true
+    | Scramble { prob } ->
+      Fabric.set_scramble fabric prob;
+      Metrics.Counter.incr cnt.c_spikes;
+      true
+    | Scramble_end ->
+      Fabric.set_scramble fabric 0.0;
       Metrics.Counter.incr cnt.c_spikes;
       true
     | Slow { node; factor } ->

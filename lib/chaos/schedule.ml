@@ -10,6 +10,8 @@ type fault =
   | Heal_all
   | Spike of { loss : float; dup : float; delay_us : float }
   | Spike_end
+  | Scramble of { prob : float }
+  | Scramble_end
   | Slow of { node : int; factor : float }
   | Slow_end of int
 
@@ -53,6 +55,12 @@ let slow_window ~node ~factor ~at_us ~duration_us =
   [
     { at_us; fault = Slow { node; factor } };
     { at_us = at_us +. duration_us; fault = Slow_end node };
+  ]
+
+let scramble_window ~at_us ~duration_us ?(prob = 0.3) () =
+  [
+    { at_us; fault = Scramble { prob } };
+    { at_us = at_us +. duration_us; fault = Scramble_end };
   ]
 
 (* ---------- stochastic plans ----------------------------------------------- *)
@@ -112,6 +120,8 @@ let fault_to_string = function
   | Spike { loss; dup; delay_us } ->
     Printf.sprintf "spike(loss=%.3f,dup=%.3f,delay=%.1fus)" loss dup delay_us
   | Spike_end -> "spike_end"
+  | Scramble { prob } -> Printf.sprintf "scramble(p=%.3f)" prob
+  | Scramble_end -> "scramble_end"
   | Slow { node; factor } -> Printf.sprintf "slow(%d,x%.1f)" node factor
   | Slow_end n -> Printf.sprintf "slow_end(%d)" n
 

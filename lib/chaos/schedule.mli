@@ -18,6 +18,12 @@ type fault =
   | Spike of { loss : float; dup : float; delay_us : float }
       (** arm a cluster-wide link-quality spike *)
   | Spike_end
+  | Scramble of { prob : float }
+      (** arm cluster-wide delivery-order scrambling: each message
+          overtakes the latest in-flight one on its link with probability
+          [prob] ({!Zeus_net.Fabric.set_scramble} — independent of the
+          spike, so the two can overlap) *)
+  | Scramble_end
   | Slow of { node : int; factor : float }          (** gray node: latency multiplier *)
   | Slow_end of int
 
@@ -52,6 +58,14 @@ val spike_window :
   step list
 
 val slow_window : node:int -> factor:float -> at_us:float -> duration_us:float -> step list
+
+val scramble_window :
+  at_us:float -> duration_us:float -> ?prob:float -> unit -> step list
+(** One delivery-order-scrambling incident ([prob] defaults to 0.3).  Not
+    drawn by {!random} — an ordered transport re-orders the permutation
+    away, so it is only interesting on [Transport.unordered] clusters,
+    which the random plan knows nothing about (and adding it there would
+    reshuffle every existing seeded plan). *)
 
 val random :
   seed:int64 ->

@@ -41,6 +41,7 @@ let replays_started t = Metrics.Counter.get t.c_replays
 let metrics t = t.metrics
 let inflight t = Core.inflight t.core
 let stored_invs t = Core.stored_invs t.core
+let buffered_invs t = Core.buffered_invs t.core
 let set_io_tap t f = t.io_tap <- Some f
 let core_fingerprint t = Core.fingerprint t.core
 
@@ -202,13 +203,13 @@ let reset t =
   Hashtbl.reset t.durables;
   Hashtbl.reset t.spans
 
-let create ?telemetry ~node ~table ~membership ~callbacks transport =
+let create ?telemetry ?clear_marks ~node ~table ~membership ~callbacks transport =
   let nodes = Zeus_net.Fabric.nodes (Transport.fabric transport) in
   let hub = match telemetry with Some h -> h | None -> Hub.none () in
   let metrics = Metrics.create () in
   let t =
     {
-      core = Core.create ~self:node ~nodes ();
+      core = Core.create ?clear_marks ~self:node ~nodes ();
       node;
       table;
       membership;

@@ -37,12 +37,15 @@ type t
 
 val create :
   ?telemetry:Zeus_telemetry.Hub.t ->
+  ?clear_marks:Core.clear_marks ->
   node:Types.node_id ->
   table:Table.t ->
   membership:Zeus_membership.Service.t ->
   callbacks:callbacks ->
   Zeus_net.Transport.t ->
   t
+(** [clear_marks] (default {!Core.Sequenced}) selects the follower-side
+    R-VAL discipline — see {!Core.clear_marks}. *)
 
 val node : t -> Types.node_id
 
@@ -73,6 +76,9 @@ val inflight : t -> int
 
 val stored_invs : t -> int
 (** Follower-side R-INVs held for replay. *)
+
+val buffered_invs : t -> int
+(** Follower-side R-INVs buffered behind an unhandled predecessor slot. *)
 
 val commits_started : t -> int
 val commits_durable : t -> int

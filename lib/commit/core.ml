@@ -58,6 +58,8 @@ type input =
 
 (* ---------- state -------------------------------------------------------- *)
 
+type clear_marks = Legacy | Sequenced
+
 type slot_state = {
   s_tx : tx_id;
   s_writes : Txn.update list;
@@ -68,7 +70,14 @@ type slot_state = {
   s_span : int;  (* span token, -1 when tracing was off *)
 }
 
-type pipeline = { mutable next_slot : int; slots : (int, slot_state) Hashtbl.t }
+type pipeline = {
+  mutable next_slot : int;
+  mutable done_upto : int;
+      (* contiguous commit watermark: every slot <= done_upto has validated
+         locally (it was removed from [slots], or never entered them — the
+         no-follower fast path); this is the [upto] clear mark R-VALs carry *)
+  slots : (int, slot_state) Hashtbl.t;
+}
 
 type stored_inv = {
   i_tx : tx_id;
@@ -84,12 +93,17 @@ type buffered_inv = {
 
 type follower_pipe = {
   mutable cleared_upto : int;
+  marks : (int, unit) Hashtbl.t;
+      (* Sequenced mode only: slots above [cleared_upto] known handled
+         (stored or cleared by a VAL) while earlier slots are still open at
+         the coordinator; compacted into [cleared_upto] as gaps close *)
   stored : (int, stored_inv) Hashtbl.t;
   buffered : (int, buffered_inv) Hashtbl.t;
 }
 
 type state = {
   self : Types.node_id;
+  mode : clear_marks;
   pipelines : (int, pipeline) Hashtbl.t;
   follower_pipes : (pipe_id, follower_pipe) Hashtbl.t;
   replaying : (tx_id, slot_state) Hashtbl.t;
@@ -98,9 +112,10 @@ type state = {
   mutable token_seq : int;
 }
 
-let create ~self ~nodes () =
+let create ?(clear_marks = Sequenced) ~self ~nodes () =
   {
     self;
+    mode = clear_marks;
     pipelines = Hashtbl.create 16;
     follower_pipes = Hashtbl.create 64;
     replaying = Hashtbl.create 16;
@@ -115,8 +130,14 @@ let inflight st =
 let stored_invs st =
   Hashtbl.fold (fun _ fp acc -> acc + Hashtbl.length fp.stored) st.follower_pipes 0
 
+let buffered_invs st =
+  Hashtbl.fold
+    (fun _ fp acc -> acc + Hashtbl.length fp.buffered)
+    st.follower_pipes 0
+
 let replaying_count st = Hashtbl.length st.replaying
 let recovering_epoch st = st.recovering_epoch
+let clear_marks_mode st = st.mode
 
 let peek_slot st ~thread =
   match Hashtbl.find_opt st.pipelines thread with
@@ -143,24 +164,68 @@ let get_pipe st thread =
   match Hashtbl.find_opt st.pipelines thread with
   | Some p -> p
   | None ->
-    let p = { next_slot = 0; slots = Hashtbl.create 32 } in
+    let p = { next_slot = 0; done_upto = -1; slots = Hashtbl.create 32 } in
     Hashtbl.replace st.pipelines thread p;
     p
+
+(* A slot not in [slots] but below [next_slot] has validated locally —
+   either [finish_slot] removed it or the no-follower fast path never
+   inserted it — so the watermark may advance over it. *)
+let advance_done pipe =
+  while
+    pipe.done_upto + 1 < pipe.next_slot
+    && not (Hashtbl.mem pipe.slots (pipe.done_upto + 1))
+  do
+    pipe.done_upto <- pipe.done_upto + 1
+  done
 
 let validate_local c (s : slot_state) =
   c.emit (Validate_local { writes = s.s_writes });
   c.emit (Telemetry (Count C_durable));
   if s.s_has_durable then c.emit (Durable { tx = s.s_tx })
 
+(* The clear mark a VAL carries is per recipient: the highest slot [f] need
+   not wait for.  Starting from the contiguous [done_upto] watermark, every
+   further slot is vouched if it validated (left [slots]) or if [f] is not
+   among its missing acks — then [f] either already applied it (and holds
+   its own mark) or was never a follower, so no R-INV for it can ever reach
+   [f], re-driven or not.  The scan stops at the first slot still missing
+   [f]'s ack: vouching {e that} would let a still-in-flight R-INV be
+   dedup-acked without applying.  This carries exactly the knowledge the
+   legacy receiver inferred from link order, so on FIFO transports the two
+   modes behave identically.  The scan is also capped at the VAL's own slot:
+   vouching higher slots would be sound but would clear {e more} than the
+   legacy jump, perturbing apply timing on FIFO runs for no benefit. *)
+let upto_for pipe f ~slot =
+  let u = ref pipe.done_upto in
+  let blocked = ref false in
+  while (not !blocked) && !u + 1 <= slot do
+    match Hashtbl.find_opt pipe.slots (!u + 1) with
+    | None -> incr u
+    | Some s -> if List.mem f s.s_missing then blocked := true else incr u
+  done;
+  !u
+
 let finish_slot c pipe (s : slot_state) =
   Hashtbl.remove pipe.slots s.s_tx.slot;
+  advance_done pipe;
   if s.s_span >= 0 then c.emit (Telemetry (Span_finish s.s_span));
   validate_local c s;
   let recipients =
     List.filter (fun n -> live c n) (s.s_followers @ s.s_extra_vals)
   in
+  let epoch = c.env.epoch in
   List.iter
-    (fun f -> c.emit (Send { dst = f; size = 32; payload = R_val { tx = s.s_tx } }))
+    (fun f ->
+      c.emit
+        (Send
+           {
+             dst = f;
+             size = 32;
+             payload =
+               R_val
+                 { tx = s.s_tx; upto = upto_for pipe f ~slot:s.s_tx.slot; epoch };
+           }))
     recipients
 
 let api_commit c ~thread ~updates ~replica_sets ~has_durable =
@@ -255,10 +320,42 @@ let get_follower_pipe st pipe_id =
   | Some fp -> fp
   | None ->
     let fp =
-      { cleared_upto = -1; stored = Hashtbl.create 32; buffered = Hashtbl.create 8 }
+      {
+        cleared_upto = -1;
+        marks = Hashtbl.create 8;
+        stored = Hashtbl.create 32;
+        buffered = Hashtbl.create 8;
+      }
     in
     Hashtbl.replace st.follower_pipes pipe_id fp;
     fp
+
+(* ---- sequence-aware clear marks (Sequenced mode) ----
+   [cleared fp s] means slot [s] of the pipe is handled at this follower:
+   its writes were applied and stored here, or a clear mark (watermark or
+   individual VAL) proved the slot completed without involving us.  The
+   watermark [cleared_upto] absorbs marks as they become contiguous, so
+   [marks] only holds the sparse frontier above coordinator-side gaps. *)
+
+let cleared fp slot = slot <= fp.cleared_upto || Hashtbl.mem fp.marks slot
+
+let compact_marks fp =
+  while Hashtbl.mem fp.marks (fp.cleared_upto + 1) do
+    Hashtbl.remove fp.marks (fp.cleared_upto + 1);
+    fp.cleared_upto <- fp.cleared_upto + 1
+  done
+
+let mark_handled fp slot =
+  if slot > fp.cleared_upto then Hashtbl.replace fp.marks slot ();
+  compact_marks fp
+
+let advance_cleared fp upto =
+  if upto > fp.cleared_upto then begin
+    fp.cleared_upto <- upto;
+    let stale = Hashtbl.fold (fun s () acc -> if s <= upto then s :: acc else acc) fp.marks [] in
+    List.iter (Hashtbl.remove fp.marks) stale
+  end;
+  compact_marks fp
 
 let dead_stored_count c =
   Hashtbl.fold
@@ -278,21 +375,45 @@ let validate_stored c fp slot (si : stored_inv) =
   Hashtbl.remove fp.stored slot;
   check_drained c
 
+(* Legacy drain: the watermark is the only clear mark, so only the exactly
+   contiguous next slot can unblock. *)
 let rec drain_buffered c pipe_id fp =
-  let next = fp.cleared_upto + 1 in
-  match Hashtbl.find_opt fp.buffered next with
-  | Some b ->
-    Hashtbl.remove fp.buffered next;
-    apply_slot c pipe_id fp ~slot:next ~followers:b.b_followers ~writes:b.b_writes
-      ~src:b.b_src ~install:true;
-    drain_buffered c pipe_id fp
-  | None -> ()
+  match c.st.mode with
+  | Legacy -> (
+    let next = fp.cleared_upto + 1 in
+    match Hashtbl.find_opt fp.buffered next with
+    | Some b ->
+      Hashtbl.remove fp.buffered next;
+      apply_slot c pipe_id fp ~slot:next ~followers:b.b_followers ~writes:b.b_writes
+        ~src:b.b_src ~install:true;
+      drain_buffered c pipe_id fp
+    | None -> ())
+  | Sequenced ->
+    (* Sequenced: a sparse mark can unblock any buffered slot whose
+       predecessor just became handled, not only the contiguous next one.
+       Ascending order keeps the effect stream identical to the legacy
+       contiguous drain when marks happen to be contiguous (FIFO runs). *)
+    let keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) fp.buffered []) in
+    let progressed = ref false in
+    List.iter
+      (fun slot ->
+        if Hashtbl.mem fp.buffered slot && (slot = 0 || cleared fp (slot - 1)) then begin
+          let b = Hashtbl.find fp.buffered slot in
+          Hashtbl.remove fp.buffered slot;
+          apply_slot c pipe_id fp ~slot ~followers:b.b_followers ~writes:b.b_writes
+            ~src:b.b_src ~install:true;
+          progressed := true
+        end)
+      keys;
+    if !progressed then drain_buffered c pipe_id fp
 
 and apply_slot c pipe_id fp ~slot ~followers ~writes ~src ~install =
   c.emit (Apply_writes { install; writes });
   Hashtbl.replace fp.stored slot
     { i_tx = { pipe = pipe_id; slot }; i_followers = followers; i_writes = writes };
-  if slot > fp.cleared_upto then fp.cleared_upto <- slot;
+  (match c.st.mode with
+  | Legacy -> if slot > fp.cleared_upto then fp.cleared_upto <- slot
+  | Sequenced -> mark_handled fp slot);
   c.emit
     (Send
        {
@@ -303,11 +424,19 @@ and apply_slot c pipe_id fp ~slot ~followers ~writes ~src ~install =
 
 let handle_inv c ~src ~tx ~followers ~writes ~prev_val ~replay =
   let fp = get_follower_pipe c.st tx.pipe in
-  if Hashtbl.mem fp.stored tx.slot || tx.slot <= fp.cleared_upto then
+  if Hashtbl.mem fp.stored tx.slot || cleared fp tx.slot then
     c.emit (Send { dst = src; size = 32; payload = R_ack { tx; sender = c.st.self } })
   else begin
-    if prev_val && tx.slot - 1 > fp.cleared_upto then fp.cleared_upto <- tx.slot - 1;
-    if replay || fp.cleared_upto >= tx.slot - 1 then begin
+    (if prev_val && tx.slot - 1 > fp.cleared_upto then
+       match c.st.mode with
+       | Legacy -> fp.cleared_upto <- tx.slot - 1
+       | Sequenced -> advance_cleared fp (tx.slot - 1));
+    let pred_handled =
+      match c.st.mode with
+      | Legacy -> fp.cleared_upto >= tx.slot - 1
+      | Sequenced -> cleared fp (tx.slot - 1)
+    in
+    if replay || pred_handled then begin
       apply_slot c tx.pipe fp ~slot:tx.slot ~followers ~writes ~src
         ~install:(not replay);
       drain_buffered c tx.pipe fp
@@ -317,18 +446,15 @@ let handle_inv c ~src ~tx ~followers ~writes ~prev_val ~replay =
         { b_followers = followers; b_writes = writes; b_src = src }
   end
 
-(* An R-VAL for an unknown pipe is dropped, not adopted as a clear mark.
-   The reliable transport delivers each link's payloads in order (the RDMA
-   RC assumption of §3.1), so a VAL can never precede its pipe's first
-   R-INV in a live incarnation; the only way this branch fires is a stale
-   VAL reaching a node that was fenced and reset to a fresh incarnation,
-   and a fresh incarnation must not resurrect pipe state.  Under {e
-   arbitrary} reordering this drop would be a liveness hole — a VAL
-   overtaking the pipe's first R-INV leaves that INV buffered forever
-   (Core_harness reproduces the interleaving with [fifo = false]) — which
-   is why the in-order contract is part of the protocol's correctness
-   argument. *)
-let handle_val c ~tx =
+(* Legacy receiver: an R-VAL for an unknown pipe is dropped, not adopted,
+   and clearing is the bare arrival-order watermark [cleared_upto :=
+   tx.slot].  That is only sound when each link delivers payloads in order
+   (the RDMA RC assumption of §3.1): under arbitrary reordering an
+   extra-val VAL overtaking the pipe's first R-INV leaves that INV
+   buffered forever — the liveness hole Core_harness reproduces with
+   [fifo = false] + [clear_marks:Legacy], kept as the pinned negative
+   control in [zeus_cli model]. *)
+let handle_val_legacy c ~tx =
   match Hashtbl.find_opt c.st.follower_pipes tx.pipe with
   | None -> ()
   | Some fp ->
@@ -339,6 +465,26 @@ let handle_val c ~tx =
       fp.cleared_upto <- tx.slot;
       drain_buffered c tx.pipe fp
     end
+
+(* Sequenced receiver (default): ordering is carried by the message, not
+   the link.  The VAL clears exactly what its sender can vouch for — its
+   own slot, plus the carried [upto] watermark (every slot <= upto had
+   completed replication at send time, so a slot this node stored below it
+   was already applied here, and a slot it never saw cannot involve it) —
+   never the arrival-order [tx.slot] jump of the legacy path, which under
+   reordering would silently clear still-open earlier slots.  A VAL for an
+   unknown pipe is {e adopted}: the pipe is created and the clear marks
+   recorded, so the overtaken first R-INV finds its predecessor handled
+   when it lands.  Epoch fencing keeps the PR 9 invariant: adoption is
+   refused for stale-incarnation stragglers (see [deliver]). *)
+let handle_val c ~tx ~upto =
+  let fp = get_follower_pipe c.st tx.pipe in
+  (match Hashtbl.find_opt fp.stored tx.slot with
+  | Some si -> validate_stored c fp tx.slot si
+  | None -> ());
+  advance_cleared fp upto;
+  mark_handled fp tx.slot;
+  drain_buffered c tx.pipe fp
 
 (* ---------- replay after a coordinator crash (§5.1) ---------------------- *)
 
@@ -351,8 +497,14 @@ let finish_replay c (s : slot_state) =
     | Some si -> validate_stored c fp s.s_tx.slot si
     | None -> ())
   | None -> ());
+  (* A replayer cannot vouch for earlier slots of the dead pipe (it may
+     not have stored them), so the replay VAL carries no watermark: it
+     clears exactly its own slot. *)
+  let epoch = c.env.epoch in
   List.iter
-    (fun f -> c.emit (Send { dst = f; size = 32; payload = R_val { tx = s.s_tx } }))
+    (fun f ->
+      c.emit
+        (Send { dst = f; size = 32; payload = R_val { tx = s.s_tx; upto = -1; epoch } }))
     s.s_followers
 
 let start_replay c (si : stored_inv) =
@@ -547,7 +699,22 @@ let deliver c ~src payload =
     if e = c.env.epoch || (e > c.env.epoch && live c src) then
       handle_inv c ~src ~tx ~followers ~writes ~prev_val ~replay
   | R_ack { tx; sender } -> handle_ack c ~tx ~sender
-  | R_val { tx } -> handle_val c ~tx
+  | R_val { tx; upto; epoch = e } -> (
+    match c.st.mode with
+    | Legacy -> handle_val_legacy c ~tx
+    | Sequenced ->
+      (* A VAL for a pipe we already track is always safe to process: its
+         claims (slot committed, slots <= upto committed) are monotone
+         facts, valid across view changes.  A VAL for an {e unknown} pipe
+         is adopted only under the R-INV fence — current epoch, or a
+         future epoch from a live peer: a stale-epoch straggler may
+         predate a fence-and-reset of this pipe's incarnation, and a
+         fresh incarnation must not resurrect pipe state (PR 9). *)
+      if
+        Hashtbl.mem c.st.follower_pipes tx.pipe
+        || e = c.env.epoch
+        || (e > c.env.epoch && live c src)
+      then handle_val c ~tx ~upto)
   | _ -> ()
 
 let no_env = { epoch = 0; live = [||]; trace_on = false }
@@ -587,7 +754,8 @@ let copy st =
     (fun thread p ->
       let slots = Hashtbl.create (Hashtbl.length p.slots * 2 + 1) in
       Hashtbl.iter (fun k s -> Hashtbl.replace slots k (copy_slot s)) p.slots;
-      Hashtbl.replace pipelines thread { next_slot = p.next_slot; slots })
+      Hashtbl.replace pipelines thread
+        { next_slot = p.next_slot; done_upto = p.done_upto; slots })
     st.pipelines;
   let follower_pipes = Hashtbl.create 64 in
   Hashtbl.iter
@@ -595,6 +763,7 @@ let copy st =
       Hashtbl.replace follower_pipes pid
         {
           cleared_upto = fp.cleared_upto;
+          marks = Hashtbl.copy fp.marks;
           stored = Hashtbl.copy fp.stored;
           buffered = Hashtbl.copy fp.buffered;
         })
@@ -603,6 +772,7 @@ let copy st =
   Hashtbl.iter (fun k s -> Hashtbl.replace replaying k (copy_slot s)) st.replaying;
   {
     self = st.self;
+    mode = st.mode;
     pipelines;
     follower_pipes;
     replaying;
@@ -639,14 +809,18 @@ let fingerprint st =
        (Array.to_list (Array.map (fun l -> if l then "1" else "0") st.prev_live)));
   List.iter
     (fun (thread, p) ->
-      Format.fprintf ppf "P%d next=%d@," thread p.next_slot;
+      Format.fprintf ppf "P%d next=%d done=%d@," thread p.next_slot p.done_upto;
       List.iter
         (fun (slot, s) -> Format.fprintf ppf " s%d %a@," slot pp_slot s)
         (sorted_bindings p.slots))
     (sorted_bindings st.pipelines);
   List.iter
     (fun ((pid : pipe_id), fp) ->
-      Format.fprintf ppf "F n%d.t%d cleared=%d@," pid.node pid.thread fp.cleared_upto;
+      Format.fprintf ppf "F n%d.t%d cleared=%d marks=[%s]@," pid.node pid.thread
+        fp.cleared_upto
+        (String.concat ";"
+           (List.map string_of_int
+              (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) fp.marks []))));
       List.iter
         (fun (slot, (si : stored_inv)) ->
           Format.fprintf ppf " i%d f=[%s] w=%a@," slot

@@ -66,8 +66,27 @@ type input =
 
 type state
 
-val create : self:Types.node_id -> nodes:int -> unit -> state
+(** How a follower interprets R-VAL clear marks.
+
+    [Sequenced] (default): ordering is carried by the messages themselves —
+    R-VALs clear exactly the slots their sender can vouch for (their own
+    slot plus the carried [upto] watermark), a VAL reaching a node with no
+    state for its pipe is adopted (creating the pipe) under the same epoch
+    fence as R-INVs, and buffered R-INVs drain on explicit slot marks.
+    The protocol is live under arbitrary per-link reordering
+    ([Zeus_net.Transport.unordered], multipath fabrics).
+
+    [Legacy]: the historical arrival-order discipline — a VAL jumps the
+    watermark to its own slot and unknown-pipe VALs are dropped — which is
+    only live when each link delivers in order (the RDMA RC assumption of
+    §3.1).  Kept as a compat knob so the model checker can pin the known
+    VAL-overtakes-first-INV deadlock as a negative control. *)
+type clear_marks = Legacy | Sequenced
+
+val create : ?clear_marks:clear_marks -> self:Types.node_id -> nodes:int -> unit -> state
 val handle : state -> input -> state * eff list
+
+val clear_marks_mode : state -> clear_marks
 
 val peek_slot : state -> thread:int -> int
 (** The slot the next {!Api_commit} on [thread] will occupy — interpreters
@@ -81,6 +100,10 @@ val inflight : state -> int
 
 val stored_invs : state -> int
 (** Follower-side stored R-INVs awaiting validation. *)
+
+val buffered_invs : state -> int
+(** Follower-side R-INVs buffered behind an unhandled predecessor slot —
+    permanently nonzero at quiescence means the reordering deadlock. *)
 
 val replaying_count : state -> int
 (** Dead-coordinator slots this node is currently re-driving. *)

@@ -15,4 +15,4 @@ type Zeus_net.Msg.payload +=
       replay : bool;
     }
   | R_ack of { tx : tx_id; sender : Types.node_id }
-  | R_val of { tx : tx_id }
+  | R_val of { tx : tx_id; upto : int; epoch : int }

@@ -24,4 +24,10 @@ type Zeus_net.Msg.payload +=
       replay : bool;  (** replayed by a follower after a coordinator crash *)
     }
   | R_ack of { tx : tx_id; sender : Types.node_id }
-  | R_val of { tx : tx_id }
+  | R_val of { tx : tx_id; upto : int; epoch : int }
+      (** [upto] is the sequence-aware clear mark: every slot [<= upto] of
+          this pipe had completed replication when the VAL was sent (the
+          coordinator's contiguous commit watermark; [-1] when the sender
+          cannot vouch for earlier slots, e.g. a crash replay).  [epoch] is
+          the sender's view epoch, fencing stragglers of a reset
+          incarnation on the unknown-pipe adoption path. *)

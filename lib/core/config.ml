@@ -52,6 +52,11 @@ type t = {
           historical one-frame-per-message behaviour (model checking,
           ablations) *)
   ownership : Zeus_ownership.Agent.config;
+  commit_clear_marks : Zeus_commit.Core.clear_marks;
+      (** follower-side R-VAL discipline; [Sequenced] (default) carries
+          ordering in the messages and stays live on reordering links,
+          [Legacy] is the historical arrival-order scheme that leans on
+          per-link FIFO delivery *)
   lease_us : float;
   detect_us : float;
   membership_mode : Zeus_membership.Service.mode;
@@ -89,6 +94,7 @@ let default =
     fabric = Zeus_net.Fabric.default_config;
     transport = Zeus_net.Transport.default_config;
     ownership = Zeus_ownership.Agent.default_config;
+    commit_clear_marks = Zeus_commit.Core.Sequenced;
     lease_us = 2_000.0;
     detect_us = 1_000.0;
     membership_mode = Zeus_membership.Service.Oracle;

@@ -62,14 +62,26 @@ type t = {
       (** reliable-messaging layer; [transport.batching] (on by default)
           coalesces same-destination protocol messages within
           [transport.flush_window_us] into multi-payload frames with
-          cumulative acks and {e per-link in-order delivery} — the RDMA RC
-          contract the commit protocol's liveness leans on (see
-          [Zeus_commit.Core.handle_val]).  Set
-          [Zeus_net.Transport.unbatched] for the historical
-          one-frame-per-message behaviour (model checking, ablations). *)
+          cumulative acks and per-link in-order delivery (the RDMA RC
+          contract of §3.1).  Since the sequence-aware clear marks of
+          [Zeus_commit.Core], in-order delivery is a latency optimization,
+          not a correctness requirement: [Zeus_net.Transport.unordered]
+          relaxes it (out-of-window payloads deliver immediately) and the
+          protocols stay live — model-checked by [zeus_cli model]'s
+          reordering scenarios.  Set [Zeus_net.Transport.unbatched] for
+          the historical one-frame-per-message behaviour (model checking,
+          ablations). *)
   ownership : Zeus_ownership.Agent.config;
       (** ownership-protocol timeouts: request timeout, arb-replay delay,
           replay sweep period *)
+  commit_clear_marks : Zeus_commit.Core.clear_marks;
+      (** follower-side R-VAL discipline of the reliable-commit protocol.
+          [Sequenced] (default): R-VALs carry explicit slot watermarks, so
+          commit streams tolerate arbitrary per-link reordering.
+          [Legacy]: the historical arrival-order scheme, only live on FIFO
+          links — kept as a compat knob pinning the known
+          VAL-overtakes-first-INV deadlock as a model-checker negative
+          control. *)
   lease_us : float;  (** membership lease length (§3.1) *)
   detect_us : float;  (** Oracle-mode failure-detection latency by fiat *)
   membership_mode : Zeus_membership.Service.mode;

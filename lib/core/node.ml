@@ -236,8 +236,8 @@ let create ?telemetry ~config ~id ~transport ~membership ~history () =
     }
   in
   let commit =
-    Com.Agent.create ?telemetry ~node:id ~table:t.table ~membership ~callbacks:com_cb
-      transport
+    Com.Agent.create ?telemetry ~clear_marks:config.Config.commit_clear_marks ~node:id
+      ~table:t.table ~membership ~callbacks:com_cb transport
   in
   t.commit <- Some commit;
   Transport.set_handler transport id (fun ~src payload ->

@@ -24,6 +24,12 @@
     wait out the lease before the view change, so comparing it against
     {e follower} isolates the price of real end-to-end failure detection.
 
+    A fifth scenario, {e reorder}, crashes nobody: the cluster runs on
+    [Transport.unordered] (exactly-once delivery, no per-flow order) and
+    the nemesis scrambles delivery order mid-run — the commit protocol's
+    sequence-aware clear marks must keep goodput flat where the legacy
+    arrival-order clearing would wedge followers.
+
     Each scenario runs under a {!Zeus_chaos.Schedule} executed by the
     {!Zeus_chaos.Nemesis} with a {!Zeus_chaos.Monitor} attached: the
     goodput timeline (500 µs windows over the surviving drivers) yields
@@ -49,7 +55,8 @@ let seed = 7L
    for the rejoin), and a crash/restart window on [crash_node] executed by
    the nemesis. *)
 let run_scenario ?(mode = Zeus_membership.Service.Oracle) ?(extra_down_us = 0.0)
-    ~quick ~name ~home_shift ~drive ~crash_node ~remote_frac () =
+    ?(transport = Zeus_net.Transport.default_config) ?scramble ~quick ~name
+    ~home_shift ~drive ~crash_node ~remote_frac () =
   let warmup_us = if quick then 1_500.0 else 3_000.0 in
   let fault_at_us = warmup_us +. if quick then 5_000.0 else 8_000.0 in
   (* [extra_down_us] stretches the crash window for Detected mode: the view
@@ -72,6 +79,7 @@ let run_scenario ?(mode = Zeus_membership.Service.Oracle) ?(extra_down_us = 0.0)
       app_threads = 6;
       auto_trim = false;
       membership_mode = mode;
+      transport;
     }
   in
   let c = Cluster.create ~config () in
@@ -83,9 +91,17 @@ let run_scenario ?(mode = Zeus_membership.Service.Oracle) ?(extra_down_us = 0.0)
     ~owner_of:(fun k -> home_shift + W.Smallbank.home_of_key w k)
     (fun _ -> Bytes.copy W.Smallbank.initial_value);
   let monitor = Chaos.Monitor.attach ~observed:drive c in
+  (* [scramble = Some prob] swaps the incident: instead of a crash, the
+     nemesis arms delivery-order scrambling for the same window — only
+     meaningful on an unordered transport, where the permutation actually
+     reaches the protocol layer. *)
   let schedule =
     Chaos.Schedule.v ~name ~seed
-      (Chaos.Schedule.crash_restart ~node:crash_node ~at_us:fault_at_us ~down_us)
+      (match scramble with
+      | Some prob ->
+        Chaos.Schedule.scramble_window ~at_us:fault_at_us ~duration_us:down_us ~prob ()
+      | None ->
+        Chaos.Schedule.crash_restart ~node:crash_node ~at_us:fault_at_us ~down_us)
   in
   let nemesis = Chaos.Nemesis.attach ~monitor c schedule in
   let issuing = ref true in
@@ -143,6 +159,16 @@ let compute ~quick =
         ~extra_down_us:(if quick then 8_000.0 else 12_000.0) ~quick
         ~name:"follower-detected" ~home_shift:0 ~drive:[ 0; 1; 2 ] ~crash_node:3
         ~remote_frac:0.2 ();
+      (* No crash at all: the whole cluster runs on the unordered transport
+         (exactly-once, {e no} per-flow order) and the nemesis scrambles
+         delivery order for the incident window.  The sequence-aware clear
+         marks must keep commit streams draining — goodput barely dips and
+         every monitor stays green; on the legacy arrival-order clearing
+         this scenario wedges. *)
+      run_scenario
+        ~transport:(Zeus_net.Transport.unordered Zeus_net.Transport.default_config)
+        ~scramble:0.5 ~quick ~name:"reorder" ~home_shift:0 ~drive:[ 0; 1; 2 ]
+        ~crash_node:3 ~remote_frac:0.2 ();
     ]
   in
   { quick; seed; scenarios }

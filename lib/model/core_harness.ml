@@ -36,6 +36,22 @@ let remove_one x xs =
   in
   go xs
 
+(* FIFO view of the net: each directed link's oldest message.  Both
+   harnesses keep [net] in per-link send order (sends tail-append), so
+   filtering to first-per-link yields exactly the messages an ordered
+   transport could deliver next. *)
+let link_heads net =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun m ->
+      let l = (m.m_src, m.m_dst) in
+      if Hashtbl.mem seen l then false
+      else begin
+        Hashtbl.add seen l ();
+        true
+      end)
+    net
+
 let pp_sep_semi ppf () = Format.pp_print_string ppf ";"
 let pp_nodes ppf ns =
   Format.fprintf ppf "[%a]"
@@ -96,7 +112,8 @@ let pp_payload ppf = function
       (if prev_val then " prev-val" else "")
       (if replay then " replay" else "")
   | CM.R_ack { tx; sender } -> Format.fprintf ppf "R-ACK(%a by n%d)" CM.pp_tx tx sender
-  | CM.R_val { tx } -> Format.fprintf ppf "R-VAL(%a)" CM.pp_tx tx
+  | CM.R_val { tx; upto; epoch } ->
+    Format.fprintf ppf "R-VAL(%a upto %d e%d)" CM.pp_tx tx upto epoch
   | _ -> Format.pp_print_string ppf "?"
 
 let pp_msg ppf m = Format.fprintf ppf "n%d->n%d %a" m.m_src m.m_dst pp_payload m.payload
@@ -120,9 +137,20 @@ module Ownership = struct
   let dirs = [ 0; 1; 2 ]
   let dir _ = dirs
 
-  type config = { requesters : int list; crashable : int list; dup_budget : int }
+  (* [fifo = false] (the default, and the only mode that ever existed
+     here) treats the net as an arbitrarily reordered multiset: the
+     ownership protocol has never assumed link order, and running the
+     scenarios this way pins that.  [fifo = true] is the strict subset of
+     behaviours an ordered transport exhibits. *)
+  type config = {
+    requesters : int list;
+    crashable : int list;
+    dup_budget : int;
+    fifo : bool;
+  }
 
-  let default_config = { requesters = [ 1; 3 ]; crashable = [ 0; 1 ]; dup_budget = 0 }
+  let default_config =
+    { requesters = [ 1; 3 ]; crashable = [ 0; 1 ]; dup_budget = 0; fifo = false }
 
   (* Timeouts at zero: the model is untimed ([now] stays 0.0), so every
      "old enough to replay" check passes and the replay decision is purely
@@ -178,18 +206,23 @@ module Ownership = struct
     let m = w.stores.(i) in
     match eff with
     | OC.Send { dst; payload; _ } ->
-      w.net <- { m_src = i; m_dst = dst; payload } :: w.net
+      (* Tail-append: the list stays in per-link send order, which the
+         [fifo = true] delivery rule reads; an order-free multiset
+         ([fifo = false]) does not care. *)
+      w.net <- w.net @ [ { m_src = i; m_dst = dst; payload } ]
     | OC.Send_ack_local_data { dst; req_id; key; o_ts; new_replicas; arbiters; epoch } ->
       w.net <-
-        {
-          m_src = i;
-          m_dst = dst;
-          payload =
-            OM.O_ack
-              { req_id; key; o_ts; new_replicas; arbiters; sender = i;
-                data = snapshot m; epoch };
-        }
-        :: w.net
+        w.net
+        @ [
+            {
+              m_src = i;
+              m_dst = dst;
+              payload =
+                OM.O_ack
+                  { req_id; key; o_ts; new_replicas; arbiters; sender = i;
+                    data = snapshot m; epoch };
+            };
+          ]
     | OC.Flush -> ()
     | OC.Set_timer { token; kind = OC.T_replay _ as kind; _ } ->
       w.timers <- (i, token, kind) :: w.timers
@@ -432,6 +465,9 @@ module Ownership = struct
       normalize w';
       succs := w' :: !succs
     in
+    let deliverable =
+      if config.fifo then link_heads w.net else List.sort_uniq compare w.net
+    in
     List.iter
       (fun msg ->
         List.iter
@@ -440,11 +476,20 @@ module Ownership = struct
                 w'.net <- remove_one msg w'.net;
                 deliver w' msg ~busy);
             if w.dups_left > 0 then
-              push (fun w' ->
-                  w'.dups_left <- w'.dups_left - 1;
-                  deliver w' msg ~busy))
+              if config.fifo then
+                (* An in-order duplicate: the frame is delivered twice
+                   back-to-back, never leapfrogged by later traffic. *)
+                push (fun w' ->
+                    w'.dups_left <- w'.dups_left - 1;
+                    w'.net <- remove_one msg w'.net;
+                    deliver w' msg ~busy;
+                    deliver w' msg ~busy)
+              else
+                push (fun w' ->
+                    w'.dups_left <- w'.dups_left - 1;
+                    deliver w' msg ~busy))
           (busy_branches w msg))
-      (List.sort_uniq compare w.net);
+      deliverable;
     List.iter (fun r -> push (fun w' -> issue w' r)) w.to_issue;
     if w.crashed = None then
       List.iter (fun v -> push (fun w' -> crash w' v)) config.crashable;
@@ -579,7 +624,7 @@ module Ownership = struct
         m.o_state Ots.pp m.o_ts m.version
     else Format.pp_print_string ppf "-"
 
-  let fingerprint w =
+  let fingerprint config w =
     let b = Buffer.create 1024 in
     let add fmt = Format.kasprintf (Buffer.add_string b) fmt in
     add "e%d%s crash=%s dup=%d issue=%a;"
@@ -593,7 +638,27 @@ module Ownership = struct
           add "n%d[%a | %s];" i pp_mobj m (OC.fingerprint w.cores.(i))
         else add "n%d[dead];" i)
       w.stores;
-    let net = List.sort compare (List.map (Format.asprintf "%a" pp_msg) w.net) in
+    (* Under FIFO links the per-link order is behaviour — fold it into the
+       key link by link; a reordering net is an order-free multiset. *)
+    let net =
+      if config.fifo then
+        let links =
+          List.sort_uniq compare (List.map (fun m -> (m.m_src, m.m_dst)) w.net)
+        in
+        List.map
+          (fun (s, d) ->
+            let ps =
+              List.filter_map
+                (fun m ->
+                  if m.m_src = s && m.m_dst = d then
+                    Some (Format.asprintf "%a" pp_payload m.payload)
+                  else None)
+                w.net
+            in
+            Format.asprintf "n%d->n%d:[%s]" s d (String.concat "|" ps))
+          links
+      else List.sort compare (List.map (Format.asprintf "%a" pp_msg) w.net)
+    in
     add "net{%s};" (String.concat " " net);
     let timers =
       List.sort_uniq compare
@@ -636,8 +701,8 @@ module Ownership = struct
   let explore ?(config = default_config) ?max_states () =
     Explorer.bfs
       ~init:[ init_world config ]
-      ~next:(transitions config) ~key:fingerprint ~invariant ~at_quiescence
-      ?max_states ()
+      ~next:(transitions config) ~key:(fingerprint config) ~invariant
+      ~at_quiescence ?max_states ()
 end
 
 (* ========================================================================== *)
@@ -658,9 +723,23 @@ module Commit = struct
   let has i k = List.mem i (replicas_of k)
 
   type txn = [ `X | `XY | `Y ]
-  type config = { txns : txn list; crash : bool; dup_budget : int; fifo : bool }
 
-  let default_config = { txns = [ `Y; `XY; `X ]; crash = true; dup_budget = 0; fifo = true }
+  type config = {
+    txns : txn list;
+    crash : bool;
+    dup_budget : int;
+    fifo : bool;
+    clear_marks : CC.clear_marks;
+  }
+
+  let default_config =
+    {
+      txns = [ `Y; `XY; `X ];
+      crash = true;
+      dup_budget = 0;
+      fifo = true;
+      clear_marks = CC.Sequenced;
+    }
 
   type cobj = { mutable ver : int; mutable valid : bool }
 
@@ -779,7 +858,9 @@ module Commit = struct
 
   let init_world config =
     {
-      cores = Array.init nnodes (fun i -> CC.create ~self:i ~nodes:nnodes ());
+      cores =
+        Array.init nnodes (fun i ->
+            CC.create ~clear_marks:config.clear_marks ~self:i ~nodes:nnodes ());
       stores =
         Array.init nnodes (fun _ -> Array.init 2 (fun _ -> { ver = 0; valid = true }));
       net = [];
@@ -790,26 +871,14 @@ module Commit = struct
       dups_left = config.dup_budget;
     }
 
-  (* The deployed transport (batched reliable messaging, the paper's RDMA
-     RC) delivers each link's payloads in order, and the commit protocol's
-     correctness argument leans on that — see the [handle_val] comment in
-     {!Zeus_commit.Core}.  With [fifo = true] only each link's oldest
-     message is deliverable; with [fifo = false] the net is an arbitrarily
-     reordered multiset, which reproduces the VAL-overtakes-first-INV
-     buffering deadlock the checker found (a seeded counterexample the
-     [model] command re-verifies). *)
-  let link_heads net =
-    let seen = Hashtbl.create 8 in
-    List.filter
-      (fun m ->
-        let l = (m.m_src, m.m_dst) in
-        if Hashtbl.mem seen l then false
-        else begin
-          Hashtbl.add seen l ();
-          true
-        end)
-      net
-
+  (* With [fifo = true] only each link's oldest message is deliverable —
+     the deployed ordered transport (batched reliable messaging, the
+     paper's RDMA RC).  With [fifo = false] the net is an arbitrarily
+     reordered multiset — [Transport.unordered] or a multipath fabric.
+     Since the sequence-aware clear marks ([CC.Sequenced], the default)
+     the protocol passes under both; [clear_marks = CC.Legacy] +
+     [fifo = false] reproduces the historical VAL-overtakes-first-INV
+     buffering deadlock, kept as [zeus_cli model]'s negative control. *)
   let transitions config w =
     let succs = ref [] in
     let push f =
@@ -882,6 +951,12 @@ module Commit = struct
   let at_quiescence config w =
     let live_nodes = List.filter (fab_live w) all_nodes in
     let followers = List.filter (fun i -> i <> coord) live_nodes in
+    match List.find_opt (fun i -> CC.buffered_invs w.cores.(i) > 0) followers with
+    | Some i ->
+      (* The reordering deadlock's signature: an R-INV waiting forever for
+         a predecessor slot that already cleared. *)
+      Error (Format.asprintf "n%d still holds buffered R-INVs" i)
+    | None -> (
     match List.find_opt (fun i -> CC.stored_invs w.cores.(i) > 0) followers with
     | Some i -> Error (Format.asprintf "n%d still holds stored R-INVs" i)
     | None -> (
@@ -940,7 +1015,7 @@ module Commit = struct
               | Some (i, k) ->
                 Error (Format.asprintf "n%d's object %d never revalidated" i k)
               | None -> Ok ()
-          end))
+          end)))
 
   (* ---------- canonical key / display ------------------------------------- *)
 

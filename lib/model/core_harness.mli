@@ -21,6 +21,12 @@ module Ownership : sig
     requesters : int list;  (** nodes issuing Acquire intents *)
     crashable : int list;   (** nodes that may crash (at most one does) *)
     dup_budget : int;       (** how many deliveries may be duplicated *)
+    fifo : bool;
+        (** [false] (default, and the historical behaviour): the net is an
+            arbitrarily reordered multiset — the ownership protocol has
+            never assumed link order, and this pins that.  [true]
+            restricts delivery to each link's oldest message (the ordered
+            transport), a strict subset of the reordered behaviours. *)
   }
 
   val default_config : config
@@ -43,12 +49,17 @@ module Commit : sig
     crash : bool;     (** allow a coordinator crash *)
     dup_budget : int;
     fifo : bool;
-        (** [true] (the deployed contract): each link delivers in send
-            order, matching the batched reliable transport / RDMA RC;
-            duplication is an in-order double delivery.  [false]: the net
-            is an arbitrarily reordered multiset — this reproduces the
-            VAL-overtakes-first-INV buffering deadlock, a liveness hole
-            the protocol closes by {e assuming} in-order links. *)
+        (** [true]: each link delivers in send order, matching the batched
+            reliable transport / RDMA RC; duplication is an in-order double
+            delivery.  [false]: the net is an arbitrarily reordered
+            multiset — [Transport.unordered].  With the sequence-aware
+            clear marks (the default) the protocol passes under both. *)
+    clear_marks : Zeus_commit.Core.clear_marks;
+        (** [Sequenced] (default): R-VALs carry explicit slot watermarks.
+            [Legacy]: the historical arrival-order clearing; combined with
+            [fifo = false] it reproduces the VAL-overtakes-first-INV
+            buffering deadlock — [zeus_cli model]'s pinned negative
+            control. *)
   }
 
   val default_config : config

@@ -13,8 +13,17 @@ type config = {
   bandwidth_gbps : float;   (** per-link serialization rate *)
   loss_prob : float;        (** probability a message is dropped *)
   dup_prob : float;         (** probability a message is delivered twice *)
-  reorder_prob : float;     (** probability of an extra reordering delay *)
-  reorder_delay_us : float; (** magnitude of that extra delay *)
+  delay_prob : float;
+      (** probability of an extra straggler delay (formerly
+          [reorder_prob]); an ordered transport's OOO window re-orders the
+          straggler away, so this models jitter, {e not} permutation *)
+  delay_extra_us : float;   (** magnitude of that extra delay *)
+  permute_prob : float;
+      (** probability a message {e overtakes} the latest in-flight message
+          on its directed link (lands uniformly inside the in-flight
+          horizon) — true per-link delivery permutation, visible to the
+          application through [Transport.unordered] or the legacy
+          unbatched transport *)
 }
 
 val default_config : config
@@ -24,6 +33,10 @@ val default_config : config
 type t
 
 val create : Zeus_sim.Engine.t -> nodes:int -> config -> t
+(** Raises [Invalid_argument] when [nodes <= 0] or the config is
+    malformed: any probability outside [0, 1], a negative latency/jitter/
+    delay, or a non-positive bandwidth. *)
+
 val engine : t -> Zeus_sim.Engine.t
 val nodes : t -> int
 val config : t -> config
@@ -75,6 +88,14 @@ type perturb = {
 
 val set_perturb : t -> perturb option -> unit
 val perturb : t -> perturb option
+
+val set_scramble : t -> float -> unit
+(** Runtime add-on to [permute_prob] while a scramble fault is armed
+    ([0.0] disarms; raises [Invalid_argument] outside [0, 1]).  Kept
+    separate from {!set_perturb} so a delivery-order scramble can overlap
+    a link-quality spike.  Disabled it costs no rng draw. *)
+
+val scramble : t -> float
 
 val set_slow : t -> Msg.node_id -> float -> unit
 (** Latency multiplier for every message to or from the node (clamped to

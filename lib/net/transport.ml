@@ -14,6 +14,7 @@ type config = {
   delayed_ack_us : float;
   max_batch : int;
   max_ooo : int;
+  ordered : bool;
 }
 
 let default_config =
@@ -28,9 +29,11 @@ let default_config =
     delayed_ack_us = 8.0;
     max_batch = 32;
     max_ooo = 512;
+    ordered = true;
   }
 
 let unbatched config = { config with batching = false }
+let unordered config = { config with ordered = false }
 
 (* Retransmission timeout after [retries] consecutive retransmissions with
    no window progress: capped exponential backoff, so a partitioned or dead
@@ -507,21 +510,40 @@ let handle_batch t fl ~inc ~first_seq ~items =
     List.iteri
       (fun i ((payload, _) as item) ->
         let seq = first_seq + i in
-        if seq <= fl.watermark || Hashtbl.mem fl.ooo seq then begin
+        if
+          seq <= fl.watermark || Hashtbl.mem fl.ooo seq
+          || Hashtbl.mem fl.seen_ahead seq
+        then begin
           (* Duplicate (a retransmitted window overlapping delivery). *)
           if not t.config.dedup then deliver t ~dst:fl.f_dst ~src:fl.f_src payload
         end
         else if seq = fl.watermark + 1 then begin
           fl.watermark <- seq;
           deliver t ~dst:fl.f_dst ~src:fl.f_src payload;
-          drain_ooo t fl
+          if t.config.ordered then drain_ooo t fl
+          else
+            while Hashtbl.mem fl.seen_ahead (fl.watermark + 1) do
+              Hashtbl.remove fl.seen_ahead (fl.watermark + 1);
+              fl.watermark <- fl.watermark + 1
+            done
         end
-        else if Hashtbl.length fl.ooo < t.config.max_ooo then
-          (* Ahead of the watermark: hold for in-order delivery; go-back-N
-             retransmission fills the gap.  Beyond [max_ooo] we drop and
-             rely on the retransmitted window instead — receive-side state
-             stays bounded no matter what the fault injection does. *)
-          Hashtbl.replace fl.ooo seq item)
+        else if t.config.ordered then begin
+          if Hashtbl.length fl.ooo < t.config.max_ooo then
+            (* Ahead of the watermark: hold for in-order delivery; go-back-N
+               retransmission fills the gap.  Beyond [max_ooo] we drop and
+               rely on the retransmitted window instead — receive-side state
+               stays bounded no matter what the fault injection does. *)
+            Hashtbl.replace fl.ooo seq item
+        end
+        else begin
+          (* Unordered mode: deliver ahead of the watermark immediately and
+             remember the seq for dedup (bounded by the in-flight span, as
+             in the legacy path); the cumulative ack still only covers the
+             contiguous prefix, so go-back-N refills the gap and the
+             [seen_ahead] check above swallows the resulting overlap. *)
+          Hashtbl.replace fl.seen_ahead seq ();
+          deliver t ~dst:fl.f_dst ~src:fl.f_src payload
+        end)
       items;
     (* Any data frame earns an ack: fresh data to advance the cumulative
        ack, and a fully-duplicate frame means our previous ack was lost. *)

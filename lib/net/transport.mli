@@ -51,14 +51,28 @@ type config = {
   max_batch : int;  (** max payloads packed into one [Batch] frame *)
   max_ooo : int;
       (** receive-side out-of-order window; payloads beyond it are dropped
-          and recovered by retransmission, keeping state bounded *)
+          and recovered by retransmission, keeping state bounded; only
+          read in ordered mode *)
+  ordered : bool;
+      (** [true] (default): per-flow in-order delivery — payloads ahead of
+          the cumulative watermark are held in the OOO window until the
+          gap fills (the RDMA RC contract of §3.1).  [false]: payloads
+          ahead of the watermark deliver {e immediately} (multipath /
+          QUIC-datagram-style fabrics); still exactly-once, no longer
+          in-order.  The commit protocol's sequence-aware clear marks
+          ([Zeus_commit.Core.Sequenced]) keep it live either way. *)
 }
 
 val default_config : config
 
 val unbatched : config -> config
 (** [unbatched c] is [c] with [batching = false] — the historical
-    one-frame-per-message transport, for ablations. *)
+    one-frame-per-message transport, for ablations.  The legacy path was
+    never order-preserving, so [ordered] has no effect on it. *)
+
+val unordered : config -> config
+(** [unordered c] is [c] with [ordered = false] — reliable exactly-once
+    delivery without the per-flow ordering guarantee. *)
 
 type t
 

@@ -219,6 +219,54 @@ let monitor_stop_is_idempotent_and_quiesces () =
   Cluster.run_quiesce c ~max_us:50_000.0 ();
   check Alcotest.int "engine drained" 0 (Engine.pending (Cluster.engine c))
 
+(* ---------- scrambled delivery order ---------- *)
+
+(* A cluster on the unordered transport with the nemesis scrambling
+   per-link delivery order mid-run: the sequence-aware clear marks must
+   keep every stream draining — monitors clean, history linearizable,
+   schedule fully applied.  (On the ordered default transport the same
+   window would be invisible: the receiver reassembles order below the
+   protocol.) *)
+let scrambled_delivery_stays_safe () =
+  let config =
+    {
+      Config.default with
+      Config.nodes = 3;
+      seed = 11L;
+      record_history = true;
+      transport = Zeus_net.Transport.unordered Zeus_net.Transport.default_config;
+    }
+  in
+  let c = Cluster.create ~config () in
+  for k = 0 to 11 do
+    Cluster.populate c ~key:k ~owner:(k mod 3) (Value.of_int 0)
+  done;
+  drive c ~txns_per_thread:20;
+  let mon = Monitor.attach c in
+  let s =
+    Schedule.v ~name:"scramble"
+      (Schedule.scramble_window ~at_us:500.0 ~duration_us:4_000.0 ~prob:0.6 ())
+  in
+  let nem = Nemesis.attach ~monitor:mon c s in
+  Cluster.run c ~until_us:8_000.0;
+  Monitor.stop mon;
+  Cluster.run_quiesce c ~max_us:3_000_000.0 ();
+  check Alcotest.bool "schedule finished" true (Nemesis.done_ nem);
+  check
+    Alcotest.(list (pair (float 0.0) string))
+    "scramble window applied"
+    [ (500.0, "scramble(p=0.600)"); (4_500.0, "scramble_end") ]
+    (List.map (fun (at, f) -> (at, Schedule.fault_to_string f)) (Nemesis.applied nem));
+  (match Monitor.check_final mon with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "monitor: %s" e);
+  match Cluster.history c with
+  | Some h -> (
+    match History.check h with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "history: %s" e)
+  | None -> Alcotest.fail "history recording off"
+
 (* ---------- detected mode: the oracle-free acceptance test ---------- *)
 
 (* PR acceptance: under [membership_mode = Detected] a follower crash with
@@ -353,6 +401,8 @@ let suite =
     tc "nemesis: empty schedule is zero overhead" empty_schedule_is_zero_overhead;
     tc "monitor: clean on a healthy run" monitor_clean_on_healthy_run;
     tc "monitor: stop is idempotent and lets the engine drain" monitor_stop_is_idempotent_and_quiesces;
+    tc "scramble: reordered delivery stays safe on unordered transport"
+      scrambled_delivery_stays_safe;
     tc "detected: follower crash detected, fenced, recovered within bound"
       detected_follower_crash_recovers;
     qtest prop_random_chaos_safe;

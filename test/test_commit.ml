@@ -77,8 +77,8 @@ let followers_apply_in_pipeline_order () =
   (* heavy reordering on the fabric; versions must still end up exact *)
   let fabric =
     { Zeus_net.Fabric.default_config with
-      Zeus_net.Fabric.reorder_prob = 0.5;
-      reorder_delay_us = 30.0;
+      Zeus_net.Fabric.delay_prob = 0.5;
+      delay_extra_us = 30.0;
     }
   in
   let c = Helpers.default_cluster ~fabric () in
@@ -264,6 +264,103 @@ let stored_invs_are_discarded () =
         (Com.Agent.stored_invs (Node.commit_agent (Cluster.node c n))))
     [ 1; 2 ]
 
+(* ---- deterministic clear-mark unit tests: drive Com.Core directly ------- *)
+
+module CC = Com.Core
+module M = Com.Messages
+
+let pipe0 = { M.node = 0; thread = 0 }
+let tx slot = { M.pipe = pipe0; slot }
+
+let upd slot =
+  { Zeus_store.Txn.key = 1; version = slot + 1; data = Value.empty; freed = false }
+
+let env ?(epoch = 0) () = { CC.epoch; live = [| true; true; true |]; trace_on = false }
+
+let deliver ?epoch st payload =
+  CC.handle st (CC.Deliver { src = 0; payload; env = env ?epoch () })
+
+let inv ?(prev_val = false) ?(epoch = 0) slot =
+  M.R_inv
+    {
+      tx = tx slot;
+      epoch;
+      followers = [ 1 ];
+      writes = [ upd slot ];
+      prev_val;
+      replay = false;
+    }
+
+let rval ?(upto = -1) ?(epoch = 0) slot = M.R_val { tx = tx slot; upto; epoch }
+
+let count_acks effs =
+  List.length
+    (List.filter (function CC.Send { payload = M.R_ack _; _ } -> true | _ -> false) effs)
+
+let has_validate_stored effs =
+  List.exists (function CC.Validate_stored _ -> true | _ -> false) effs
+
+let overtaking_val_is_adopted () =
+  (* the seeded deadlock, at the unit level: an extra-val R-VAL for slot 0
+     reaches a follower with no state for the pipe, then the pipe's first
+     R-INV (slot 1, open predecessor) lands.  Sequenced adopts the VAL, so
+     the INV finds its predecessor cleared and applies immediately. *)
+  let st = CC.create ~self:1 ~nodes:3 () in
+  let st, _ = deliver st (rval ~upto:0 0) in
+  let st, effs = deliver st (inv 1) in
+  check Alcotest.int "ack sent" 1 (count_acks effs);
+  check Alcotest.int "nothing buffered" 0 (CC.buffered_invs st)
+
+let legacy_drops_overtaking_val () =
+  (* same delivery order under the Legacy compat knob: the unknown-pipe VAL
+     is dropped and the first INV wedges — the pinned negative control. *)
+  let st = CC.create ~clear_marks:CC.Legacy ~self:1 ~nodes:3 () in
+  let st, _ = deliver st (rval ~upto:0 0) in
+  let st, effs = deliver st (inv 1) in
+  check Alcotest.int "no ack" 0 (count_acks effs);
+  check Alcotest.int "INV wedged" 1 (CC.buffered_invs st)
+
+let stale_incarnation_val_is_fenced () =
+  (* a VAL from a fenced-and-reset incarnation (older epoch, unknown pipe)
+     must not resurrect pipe state: adoption is refused, so the INV that
+     follows still waits for a legitimate clear mark. *)
+  let st = CC.create ~self:1 ~nodes:3 () in
+  let st, _ = deliver ~epoch:1 st (rval ~upto:0 ~epoch:0 0) in
+  let st, _ = deliver ~epoch:1 st (inv ~epoch:1 1) in
+  check Alcotest.int "stale VAL ignored, INV buffered" 1 (CC.buffered_invs st)
+
+let upto_watermark_clears_unseen_slots () =
+  (* VAL(3, upto = 2) vouches for slots this follower never saw: a later
+     INV(4) with an open predecessor applies without buffering. *)
+  let st = CC.create ~self:1 ~nodes:3 () in
+  let st, effs0 = deliver st (inv 0) in
+  check Alcotest.int "slot 0 acked" 1 (count_acks effs0);
+  let st, _ = deliver st (rval ~upto:2 3) in
+  let st, effs = deliver st (inv 4) in
+  check Alcotest.int "slot 4 acked" 1 (count_acks effs);
+  check Alcotest.int "nothing buffered" 0 (CC.buffered_invs st)
+
+let unvouched_gap_still_buffers () =
+  (* soundness half: the VAL's own slot is a mark, not a watermark jump —
+     slots in (upto, slot) stay uncleared, so an INV behind the gap buffers
+     until a voucher for its predecessor arrives. *)
+  let st = CC.create ~self:1 ~nodes:3 () in
+  let st, _ = deliver st (rval ~upto:0 3) in
+  let st, _ = deliver st (inv 2) in
+  check Alcotest.int "gap INV buffered" 1 (CC.buffered_invs st);
+  (* the voucher arrives: VAL(1) clears the predecessor and drains *)
+  let st, effs = deliver st (rval ~upto:1 1) in
+  check Alcotest.int "drained on voucher" 1 (count_acks effs);
+  check Alcotest.int "buffer empty" 0 (CC.buffered_invs st)
+
+let val_validates_stored_inv () =
+  let st = CC.create ~self:1 ~nodes:3 () in
+  let st, _ = deliver st (inv 0) in
+  check Alcotest.int "stored until validated" 1 (CC.stored_invs st);
+  let st, effs = deliver st (rval ~upto:0 0) in
+  check Alcotest.bool "Validate_stored emitted" true (has_validate_stored effs);
+  check Alcotest.int "stored discarded" 0 (CC.stored_invs st)
+
 let suite =
   [
     tc "replicates to all followers" replicates_to_followers;
@@ -279,4 +376,11 @@ let suite =
     tc "created objects replicate to readers" created_objects_replicate;
     tc "freed objects disappear everywhere" freed_objects_disappear_everywhere;
     tc "R-INVs discarded after validation" stored_invs_are_discarded;
+    tc "clear marks: overtaking VAL adopted (unit)" overtaking_val_is_adopted;
+    tc "clear marks: legacy drops overtaking VAL (unit)" legacy_drops_overtaking_val;
+    tc "clear marks: stale-incarnation VAL fenced (unit)" stale_incarnation_val_is_fenced;
+    tc "clear marks: upto watermark clears unseen slots (unit)"
+      upto_watermark_clears_unseen_slots;
+    tc "clear marks: unvouched gap still buffers (unit)" unvouched_gap_still_buffers;
+    tc "clear marks: VAL validates stored R-INV (unit)" val_validates_stored_inv;
   ]

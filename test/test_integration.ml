@@ -81,8 +81,8 @@ let lossy_network () =
       Zeus_net.Fabric.default_config with
       Zeus_net.Fabric.loss_prob = 0.05;
       dup_prob = 0.05;
-      reorder_prob = 0.3;
-      reorder_delay_us = 20.0;
+      delay_prob = 0.3;
+      delay_extra_us = 20.0;
     }
   in
   let c = mixed_workload_setup ~fabric () in

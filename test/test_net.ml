@@ -176,6 +176,73 @@ let fabric_slow_node () =
   Fabric.set_slow f2 0 1.0;
   check Alcotest.bool "factor cleared" true (Fabric.slow_factor f2 0 = 1.0)
 
+let send_burst f n =
+  for i = 0 to n - 1 do
+    Fabric.send f ~src:0 ~dst:1 (Ping i)
+  done
+
+let fabric_permute_swaps_order () =
+  (* [permute_prob] genuinely swaps per-link delivery order — unlike the
+     [delay_prob] straggler, which only stretches arrival times *)
+  let e, f =
+    setup ~config:{ Fabric.default_config with Fabric.permute_prob = 1.0 } ()
+  in
+  let log = collect f 1 in
+  send_burst f 12;
+  Engine.run e;
+  let got = List.rev_map snd !log in
+  check
+    Alcotest.(list int)
+    "all delivered" (List.init 12 Fun.id)
+    (List.sort compare got);
+  check Alcotest.bool "order permuted" true (got <> List.init 12 Fun.id)
+
+let fabric_scramble_knob () =
+  (* the nemesis knob: same permutation, armed and disarmed at runtime.
+     Jitter off so the disarmed burst has a deterministic baseline order. *)
+  let e, f = setup ~config:{ Fabric.default_config with Fabric.jitter_us = 0.0 } () in
+  let log = collect f 1 in
+  Fabric.set_scramble f 1.0;
+  check (Alcotest.float 0.0) "armed" 1.0 (Fabric.scramble f);
+  send_burst f 12;
+  Engine.run e;
+  check Alcotest.bool "scramble permutes" true
+    (List.rev_map snd !log <> List.init 12 Fun.id);
+  log := [];
+  Fabric.set_scramble f 0.0;
+  send_burst f 12;
+  Engine.run e;
+  check
+    Alcotest.(list int)
+    "disarmed: in order again" (List.init 12 Fun.id)
+    (List.rev_map snd !log);
+  check Alcotest.bool "out-of-range rejected" true
+    (match Fabric.set_scramble f 1.5 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let fabric_rejects_invalid_config () =
+  let rejects config =
+    match Fabric.create (Engine.create ()) ~nodes:3 config with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  List.iter
+    (fun (name, config) ->
+      check Alcotest.bool name true (rejects config))
+    [
+      ("loss > 1", { Fabric.default_config with Fabric.loss_prob = 1.5 });
+      ("negative dup", { Fabric.default_config with Fabric.dup_prob = -0.1 });
+      ("nan permute", { Fabric.default_config with Fabric.permute_prob = Float.nan });
+      ("negative jitter", { Fabric.default_config with Fabric.jitter_us = -1.0 });
+      ( "zero bandwidth",
+        { Fabric.default_config with Fabric.bandwidth_gbps = 0.0 } );
+    ];
+  check Alcotest.bool "nodes <= 0" true
+    (match Fabric.create (Engine.create ()) ~nodes:0 Fabric.default_config with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* ---------- transport ---------- *)
 
 let transport_setup ?(fabric_config = Fabric.default_config) ?config () =
@@ -360,7 +427,7 @@ let transport_batched_in_order_under_reorder () =
   let e, t =
     transport_setup
       ~fabric_config:
-        { Fabric.default_config with Fabric.reorder_prob = 0.6; loss_prob = 0.2 }
+        { Fabric.default_config with Fabric.delay_prob = 0.6; loss_prob = 0.2 }
       ()
   in
   let log = tcollect t 1 in
@@ -447,6 +514,9 @@ let suite =
     tc "fabric: perturbation spike (loss)" fabric_perturb_spike;
     tc "fabric: perturbation spike (delay+dup)" fabric_perturb_delay_and_dup;
     tc "fabric: gray node latency multiplier" fabric_slow_node;
+    tc "fabric: permutation swaps delivery order" fabric_permute_swaps_order;
+    tc "fabric: scramble knob arms and disarms at runtime" fabric_scramble_knob;
+    tc "fabric: invalid configs rejected at construction" fabric_rejects_invalid_config;
     tc "transport: delivers" transport_delivers;
     tc "transport: exactly-once under 40% loss" transport_survives_loss;
     tc "transport: dedup under duplication" transport_dedup_duplication;

@@ -155,7 +155,7 @@ let prop_random_fault_schedules_safe =
           Zeus_net.Fabric.default_config with
           Zeus_net.Fabric.loss_prob = float_of_int loss /. 100.0;
           dup_prob = 0.02;
-          reorder_prob = 0.2;
+          delay_prob = 0.2;
         }
       in
       let c = Helpers.default_cluster ~fabric ~seed:(Int64.of_int seed) () in

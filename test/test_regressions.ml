@@ -27,7 +27,7 @@ let run_schedule ~seed ~loss ~crash ~nops =
       Zeus_net.Fabric.default_config with
       Zeus_net.Fabric.loss_prob = float_of_int loss /. 100.0;
       dup_prob = 0.02;
-      reorder_prob = 0.2;
+      delay_prob = 0.2;
     }
   in
   let config =

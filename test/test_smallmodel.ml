@@ -23,7 +23,7 @@ let fabric_of = function
   | Lossy -> { Fabric.default_config with Fabric.loss_prob = 0.10 }
   | Duplicating -> { Fabric.default_config with Fabric.dup_prob = 0.15 }
   | Reordering ->
-    { Fabric.default_config with Fabric.reorder_prob = 0.5; reorder_delay_us = 25.0 }
+    { Fabric.default_config with Fabric.delay_prob = 0.5; delay_extra_us = 25.0 }
 
 let pp_scenario ~crash ~crash_at ~pert ~seed =
   Printf.sprintf "crash=%s at=%.0f pert=%s seed=%Ld"
